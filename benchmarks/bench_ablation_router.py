@@ -1,0 +1,113 @@
+"""Ablation benchmarks for the router design choices called out in DESIGN.md.
+
+These are not paper figures; they quantify the sensitivity of the headline
+results to the microarchitectural knobs the paper holds fixed:
+
+* pipeline depth (how much of the LA benefit is the single removed stage),
+* virtual channels per physical channel (the paper argues VCs are a sunk
+  cost; this shows what adaptivity gains from them), and
+* per-VC buffer depth (credit round-trip slack).
+
+They run on a deliberately small mesh so the whole ablation suite adds
+only a few seconds to the harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.config import SimulationConfig
+from repro.core.simulator import NetworkSimulator
+
+
+def _ablation_config(**overrides) -> SimulationConfig:
+    base = SimulationConfig(
+        mesh_dims=(6, 6),
+        message_length=20,
+        warmup_messages=60,
+        measure_messages=400,
+        traffic="transpose",
+        normalized_load=0.3,
+        routing="duato",
+        table="economical",
+        selector="max-credit",
+        seed=7,
+    )
+    return base.variant(**overrides)
+
+
+def bench_ablation_pipeline_depth(benchmark, report):
+    def study():
+        rows = []
+        for pipeline in ("proud", "la-proud"):
+            result = NetworkSimulator(_ablation_config(pipeline=pipeline)).run()
+            rows.append(
+                {
+                    "pipeline": pipeline,
+                    "latency": result.latency,
+                    "hops": result.summary.avg_hops,
+                    "saturated": result.saturated,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, study)
+    benchmark.extra_info["rows"] = rows
+    report("ablation_pipeline", "Ablation: PROUD vs LA-PROUD pipeline depth", rows)
+    la = next(row for row in rows if row["pipeline"] == "la-proud")
+    proud = next(row for row in rows if row["pipeline"] == "proud")
+    assert la["latency"] < proud["latency"]
+
+
+def bench_ablation_virtual_channels(benchmark, report):
+    def study():
+        rows = []
+        for vcs in (2, 4, 8):
+            result = NetworkSimulator(_ablation_config(vcs_per_port=vcs)).run()
+            rows.append(
+                {"vcs_per_port": vcs, "latency": result.latency, "saturated": result.saturated}
+            )
+        return rows
+
+    rows = run_once(benchmark, study)
+    benchmark.extra_info["rows"] = rows
+    report("ablation_vcs", "Ablation: virtual channels per physical channel", rows)
+    # More virtual channels must never make the adaptive router slower by a
+    # large factor (they add alternate paths at fixed link bandwidth).
+    latencies = {row["vcs_per_port"]: row["latency"] for row in rows}
+    assert latencies[4] <= 1.5 * latencies[2]
+
+
+def bench_ablation_buffer_depth(benchmark, report):
+    def study():
+        rows = []
+        for depth in (2, 5, 10):
+            result = NetworkSimulator(_ablation_config(buffer_depth=depth)).run()
+            rows.append(
+                {"buffer_depth": depth, "latency": result.latency, "saturated": result.saturated}
+            )
+        return rows
+
+    rows = run_once(benchmark, study)
+    benchmark.extra_info["rows"] = rows
+    report("ablation_buffers", "Ablation: per-VC flit buffer depth", rows)
+    latencies = {row["buffer_depth"]: row["latency"] for row in rows}
+    # Deeper buffers absorb credit round trips: latency must not increase.
+    assert latencies[10] <= latencies[2] * 1.1
+
+
+def bench_simulator_throughput(benchmark):
+    """Raw simulator speed: cycles simulated per second on a loaded 6x6 mesh.
+
+    Unlike the experiment benchmarks this one is a genuine timing
+    microbenchmark (several rounds), useful for tracking performance
+    regressions of the simulation kernel itself.
+    """
+    config = _ablation_config(measure_messages=150, warmup_messages=20)
+
+    def run_simulation():
+        return NetworkSimulator(config).run().cycles
+
+    cycles = benchmark(run_simulation)
+    assert cycles > 0

@@ -1,0 +1,69 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on a
+scaled-down network (the paper's 16x16 mesh with 410,000 messages per data
+point is far too slow for a pure-Python flit-level simulation), prints the
+reproduced rows and records them in the pytest-benchmark ``extra_info`` so
+they survive in the JSON output.
+
+Set the environment variable ``REPRO_BENCH_SCALE=paper`` to run the
+full-scale configuration instead (expect hours per benchmark).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.results import format_rows
+
+#: Directory where each benchmark drops its reproduced table as plain text.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _base_config() -> SimulationConfig:
+    """The benchmark-scale simulation configuration."""
+    if os.environ.get("REPRO_BENCH_SCALE") == "paper":
+        return SimulationConfig.paper()
+    # 8x8 mesh (power-of-two node count so the bit-permutation patterns are
+    # defined), 20-flit messages as in the paper, a reduced measurement
+    # window so a full harness run stays in the minutes range.
+    return SimulationConfig(
+        mesh_dims=(8, 8),
+        message_length=20,
+        warmup_messages=80,
+        measure_messages=600,
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> SimulationConfig:
+    """Scaled-down base configuration shared by all benchmarks."""
+    return _base_config()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable that prints a reproduced table and saves it to disk."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, title: str, rows, columns=None) -> None:
+        text = f"{title}\n{format_rows(rows, columns=columns, precision=2)}\n"
+        print(f"\n{text}")
+        (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+
+    return _report
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    A single data point of these benchmarks is a complete simulation
+    campaign, so repeating it for statistical timing accuracy would
+    multiply the harness runtime for no benefit.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

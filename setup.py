@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is described by ``pyproject.toml``; this file exists so that
+``pip install -e . --no-build-isolation`` (the offline-friendly editable
+install) can fall back to the legacy setuptools code path on environments
+without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""LAPSES reproduction: Look-Ahead, Path Selection and Economical Storage
+adaptive router design (Vaidya, Sivasubramaniam & Das, HPCA 1999).
+
+The package implements the paper's cycle-level wormhole network simulator
+(PROUD / LA-PROUD pipelined routers with virtual channels and credit-based
+flow control), Duato's fully adaptive routing, the proposed path-selection
+heuristics (LRU, LFU, MAX-CREDIT) and the three routing-table storage
+organisations (full table, meta-table, economical storage), plus the
+experiment harness that regenerates every table and figure of the paper's
+evaluation.
+
+Quick start::
+
+    from repro import NetworkSimulator, SimulationConfig
+
+    config = SimulationConfig.small(traffic="transpose", normalized_load=0.3,
+                                    selector="max-credit")
+    result = NetworkSimulator(config).run()
+    print(f"average latency: {result.latency:.1f} cycles")
+"""
+
+from repro.core.config import PaperDefaults, SimulationConfig
+from repro.core.results import SimulationResult, format_rows
+from repro.core.simulator import NetworkSimulator
+from repro.core.sweep import LoadSweepPoint, run_load_sweep
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LoadSweepPoint",
+    "NetworkSimulator",
+    "PaperDefaults",
+    "SimulationConfig",
+    "SimulationResult",
+    "format_rows",
+    "run_load_sweep",
+    "__version__",
+]

@@ -1,0 +1,199 @@
+"""Command-line interface for the LAPSES reproduction.
+
+Three subcommands cover the common workflows:
+
+``run``
+    Simulate a single configuration and print its summary.
+``sweep``
+    Run a latency-versus-load sweep for one configuration.
+``experiment``
+    Regenerate one of the paper's tables/figures (figure5, table3,
+    figure6, table4, table5, figure7) at a chosen scale.
+
+The console script ``lapses`` (installed with the package) and
+``python -m repro.cli`` both dispatch to :func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.config import SimulationConfig
+from repro.core.experiments import (
+    run_cost_table,
+    run_es_programming_example,
+    run_lookahead_comparison,
+    run_message_length_study,
+    run_path_selection_study,
+    run_table_storage_study,
+)
+from repro.core.results import format_rows
+from repro.core.simulator import NetworkSimulator
+from repro.core.sweep import run_load_sweep
+from repro.selection.heuristics import SELECTOR_NAMES
+
+__all__ = ["build_parser", "main"]
+
+#: Experiment names accepted by the ``experiment`` subcommand.
+EXPERIMENTS = ("figure5", "table3", "figure6", "table4", "table5", "figure7")
+
+_SCALES = {
+    "tiny": SimulationConfig.tiny,
+    "small": SimulationConfig.small,
+    "paper": SimulationConfig.paper,
+}
+
+
+def _parse_dims(text: str) -> tuple:
+    try:
+        dims = tuple(int(part) for part in text.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid mesh size {text!r}; expected e.g. 8x8")
+    if not dims:
+        raise argparse.ArgumentTypeError("mesh size needs at least one dimension")
+    return dims
+
+
+def _parse_loads(text: str) -> List[float]:
+    try:
+        return [float(part) for part in text.split(",") if part]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid load list {text!r}; expected e.g. 0.1,0.2")
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--mesh", type=_parse_dims, default=(8, 8), metavar="KxK",
+                        help="mesh size, e.g. 16x16 (default 8x8)")
+    parser.add_argument("--traffic", default="uniform",
+                        help="traffic pattern (uniform, transpose, bit-reversal, shuffle, ...)")
+    parser.add_argument("--load", type=float, default=0.2,
+                        help="normalized load (1.0 = bisection saturation)")
+    parser.add_argument("--message-length", type=int, default=20,
+                        help="message length in flits (paper default: 20)")
+    parser.add_argument("--pipeline", choices=("proud", "la-proud"), default="la-proud",
+                        help="router pipeline: 5-stage PROUD or 4-stage LA-PROUD")
+    parser.add_argument("--routing", default="duato",
+                        choices=("duato", "dimension-order", "north-last",
+                                 "west-first", "negative-first"),
+                        help="routing algorithm")
+    parser.add_argument("--table", default="economical",
+                        choices=("full", "economical", "meta-row", "meta-block", "interval"),
+                        help="routing-table storage organisation")
+    parser.add_argument("--selector", default="static-xy", choices=SELECTOR_NAMES,
+                        help="path-selection heuristic")
+    parser.add_argument("--vcs", type=int, default=4,
+                        help="virtual channels per physical channel")
+    parser.add_argument("--messages", type=int, default=1200,
+                        help="measured messages per data point")
+    parser.add_argument("--warmup", type=int, default=150,
+                        help="warm-up messages excluded from statistics")
+    parser.add_argument("--seed", type=int, default=1, help="master random seed")
+
+
+def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    return SimulationConfig(
+        mesh_dims=args.mesh,
+        traffic=args.traffic,
+        normalized_load=args.load,
+        message_length=args.message_length,
+        pipeline=args.pipeline,
+        routing=args.routing,
+        table=args.table,
+        selector=args.selector,
+        vcs_per_port=args.vcs,
+        measure_messages=args.messages,
+        warmup_messages=args.warmup,
+        seed=args.seed,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="lapses",
+        description="LAPSES adaptive-router reproduction (HPCA 1999)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="simulate one configuration")
+    _add_config_arguments(run_parser)
+
+    sweep_parser = subparsers.add_parser("sweep", help="latency-versus-load sweep")
+    _add_config_arguments(sweep_parser)
+    sweep_parser.add_argument("--loads", type=_parse_loads, default=[0.1, 0.2, 0.3, 0.4],
+                              metavar="L1,L2,...", help="normalized loads to sweep")
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment_parser.add_argument("name", choices=EXPERIMENTS,
+                                   help="which table/figure to regenerate")
+    experiment_parser.add_argument("--scale", choices=sorted(_SCALES), default="tiny",
+                                   help="simulation scale (default: tiny)")
+    experiment_parser.add_argument("--seed", type=int, default=1, help="master random seed")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    result = NetworkSimulator(config).run()
+    print(format_rows([result.as_dict()], precision=2))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    points = run_load_sweep(config, args.loads)
+    rows = [
+        {
+            "load": point.normalized_load,
+            "latency": point.result.latency_label(),
+            "network_latency": point.result.summary.avg_network_latency,
+            "throughput": point.result.summary.throughput,
+            "saturated": point.saturated,
+        }
+        for point in points
+    ]
+    print(format_rows(rows, precision=3))
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    base = _SCALES[args.scale](seed=args.seed)
+    name = args.name
+    if name == "figure5":
+        rows = run_lookahead_comparison(base)
+    elif name == "table3":
+        rows = run_message_length_study(base)
+    elif name == "figure6":
+        rows = run_path_selection_study(base)
+    elif name == "table4":
+        rows = run_table_storage_study(base, include_full_table=True)
+    elif name == "table5":
+        rows = run_cost_table(num_nodes=base.num_nodes, n_dims=len(base.mesh_dims))
+    elif name == "figure7":
+        rows = run_es_programming_example()
+    else:  # pragma: no cover - argparse restricts the choices
+        raise ValueError(f"unknown experiment {name!r}")
+    print(format_rows(rows, precision=2))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

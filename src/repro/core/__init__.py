@@ -1,0 +1,29 @@
+"""Public API: configuration, the simulator facade and experiment runners.
+
+Typical use::
+
+    from repro.core import SimulationConfig, NetworkSimulator
+
+    config = SimulationConfig.small(traffic="transpose", normalized_load=0.3)
+    result = NetworkSimulator(config).run()
+    print(result.summary.avg_total_latency)
+
+The :mod:`repro.core.experiments` package contains one runner per table or
+figure of the paper's evaluation section; the benchmark harness and the
+examples are thin wrappers around those runners.
+"""
+
+from repro.core.config import PaperDefaults, SimulationConfig
+from repro.core.results import SimulationResult, format_rows
+from repro.core.simulator import NetworkSimulator
+from repro.core.sweep import LoadSweepPoint, run_load_sweep
+
+__all__ = [
+    "LoadSweepPoint",
+    "NetworkSimulator",
+    "PaperDefaults",
+    "SimulationConfig",
+    "SimulationResult",
+    "format_rows",
+    "run_load_sweep",
+]

@@ -1,0 +1,180 @@
+"""Simulation configuration.
+
+:class:`SimulationConfig` is the single record describing one simulation
+run: topology, router microarchitecture, routing algorithm, routing-table
+organisation, path-selection heuristic, traffic and measurement windows.
+It is deliberately plain data (strings and numbers) so configurations can
+be copied, varied in sweeps and embedded in results; the
+:class:`~repro.core.simulator.NetworkSimulator` turns it into objects.
+
+:class:`PaperDefaults` collects the constants of Table 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+__all__ = ["PaperDefaults", "SimulationConfig"]
+
+
+class PaperDefaults:
+    """The simulation parameters of Table 2 of the paper."""
+
+    #: 256-node two-dimensional mesh.
+    MESH_DIMS: Tuple[int, int] = (16, 16)
+    #: Message length in flits.
+    MESSAGE_LENGTH: int = 20
+    #: Virtual channels per physical channel.
+    VCS_PER_PORT: int = 4
+    #: Input buffering per physical channel in flits (20 flits across 4 VCs).
+    BUFFER_PER_CHANNEL: int = 20
+    #: Flit buffer depth per virtual channel.
+    BUFFER_DEPTH: int = BUFFER_PER_CHANNEL // VCS_PER_PORT
+    #: Link traversal delay in cycles.
+    LINK_DELAY: int = 1
+    #: Contention-free router latency (cycles) without look-ahead.
+    PROUD_LATENCY: int = 5
+    #: Contention-free router latency (cycles) with look-ahead.
+    LA_PROUD_LATENCY: int = 4
+    #: Warm-up messages before statistics are collected.
+    WARMUP_MESSAGES: int = 10_000
+    #: Messages measured after warm-up.
+    MEASURE_MESSAGES: int = 400_000
+    #: Traffic patterns evaluated by the paper.
+    TRAFFIC_PATTERNS: Tuple[str, ...] = ("uniform", "transpose", "bit-reversal", "shuffle")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Complete description of one simulation run."""
+
+    # -- topology -----------------------------------------------------------------
+    #: Mesh/torus extent per dimension, e.g. ``(16, 16)``.
+    mesh_dims: Tuple[int, ...] = (8, 8)
+    #: Use wraparound (torus) links instead of a mesh.
+    torus: bool = False
+
+    # -- router microarchitecture ----------------------------------------------------
+    #: Virtual channels per physical channel.
+    vcs_per_port: int = 4
+    #: Flit buffer depth per virtual channel.
+    buffer_depth: int = 5
+    #: Router pipeline: ``"proud"`` (5-stage) or ``"la-proud"`` (4-stage).
+    pipeline: str = "la-proud"
+    #: Link traversal delay in cycles.
+    link_delay: int = 1
+    #: Credit return delay in cycles.
+    credit_delay: int = 1
+
+    # -- routing -----------------------------------------------------------------------
+    #: ``"duato"``, ``"dimension-order"``, ``"north-last"``, ``"west-first"`` or
+    #: ``"negative-first"``.
+    routing: str = "duato"
+    #: Escape virtual channels reserved per physical channel (Duato only).
+    num_escape_vcs: int = 1
+    #: Routing-table organisation: ``"full"``, ``"economical"``, ``"meta-row"``,
+    #: ``"meta-block"`` or ``"interval"``.
+    table: str = "economical"
+    #: Path-selection heuristic: ``"static-xy"``, ``"min-mux"``, ``"lfu"``,
+    #: ``"lru"``, ``"max-credit"``, ``"random"`` or ``"first-free"``.
+    selector: str = "static-xy"
+
+    # -- traffic --------------------------------------------------------------------------
+    #: Traffic pattern name (see :mod:`repro.traffic.patterns`).
+    traffic: str = "uniform"
+    #: Normalized load (1.0 saturates the bisection under uniform traffic).
+    normalized_load: float = 0.2
+    #: Message length in flits.
+    message_length: int = 20
+    #: Injection process: ``"exponential"`` (paper) or ``"bernoulli"``.
+    injection: str = "exponential"
+
+    # -- measurement -----------------------------------------------------------------------
+    #: Messages injected before statistics collection starts.
+    warmup_messages: int = 200
+    #: Messages measured after warm-up.
+    measure_messages: int = 2_000
+    #: Hard cycle limit (None = derive one from the offered load).
+    max_cycles: Optional[int] = None
+    #: Extra cycles allowed for in-flight messages to drain after generation.
+    drain_factor: float = 4.0
+    #: Master random seed.
+    seed: int = 1
+    #: Retain per-message latency samples (enables percentiles).
+    keep_samples: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.mesh_dims) < 1:
+            raise ValueError("mesh_dims needs at least one dimension")
+        if self.normalized_load < 0:
+            raise ValueError("normalized load cannot be negative")
+        if self.message_length < 1:
+            raise ValueError("messages are at least one flit long")
+        if self.warmup_messages < 0 or self.measure_messages < 1:
+            raise ValueError("invalid measurement window")
+
+    # -- convenience constructors -------------------------------------------------------------
+
+    @classmethod
+    def paper(cls, **overrides) -> "SimulationConfig":
+        """The paper's full-scale configuration (Table 2).
+
+        A pure-Python flit-level simulation of 410,000 messages on a 16x16
+        mesh takes hours; use :meth:`small` for day-to-day work and this
+        configuration when absolute fidelity matters more than runtime.
+        """
+        base = cls(
+            mesh_dims=PaperDefaults.MESH_DIMS,
+            vcs_per_port=PaperDefaults.VCS_PER_PORT,
+            buffer_depth=PaperDefaults.BUFFER_DEPTH,
+            pipeline="la-proud",
+            link_delay=PaperDefaults.LINK_DELAY,
+            message_length=PaperDefaults.MESSAGE_LENGTH,
+            warmup_messages=PaperDefaults.WARMUP_MESSAGES,
+            measure_messages=PaperDefaults.MEASURE_MESSAGES,
+        )
+        return replace(base, **overrides)
+
+    @classmethod
+    def small(cls, **overrides) -> "SimulationConfig":
+        """A scaled-down configuration preserving the paper's shape.
+
+        8x8 mesh, 20-flit messages, 4 VCs: small enough for tests and the
+        benchmark harness, large enough to show the adaptive-routing and
+        look-ahead effects.
+        """
+        base = cls(
+            mesh_dims=(8, 8),
+            warmup_messages=150,
+            measure_messages=1_200,
+        )
+        return replace(base, **overrides)
+
+    @classmethod
+    def tiny(cls, **overrides) -> "SimulationConfig":
+        """A minimal configuration for unit tests (4x4 mesh, short messages)."""
+        base = cls(
+            mesh_dims=(4, 4),
+            message_length=4,
+            warmup_messages=20,
+            measure_messages=200,
+        )
+        return replace(base, **overrides)
+
+    def variant(self, **overrides) -> "SimulationConfig":
+        """A copy of this configuration with selected fields replaced."""
+        return replace(self, **overrides)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count of the configured topology."""
+        total = 1
+        for extent in self.mesh_dims:
+            total *= extent
+        return total
+
+    @property
+    def total_messages(self) -> int:
+        """Warm-up plus measured messages."""
+        return self.warmup_messages + self.measure_messages

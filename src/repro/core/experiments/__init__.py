@@ -1,0 +1,36 @@
+"""Experiment runners, one per table/figure of the paper's evaluation.
+
+Every runner takes a base :class:`~repro.core.config.SimulationConfig`
+plus the sweep axes of the corresponding experiment and returns plain
+row dictionaries, so the same code backs the examples, the benchmark
+harness and EXPERIMENTS.md.
+
+==================  ===============================================
+Paper content       Runner
+==================  ===============================================
+Figure 5 (a-d)      :func:`repro.core.experiments.lookahead.run_lookahead_comparison`
+Table 3             :func:`repro.core.experiments.message_length.run_message_length_study`
+Figure 6 (a-d)      :func:`repro.core.experiments.path_selection.run_path_selection_study`
+Table 4             :func:`repro.core.experiments.table_storage.run_table_storage_study`
+Table 5             :func:`repro.core.experiments.cost_table.run_cost_table`
+Figure 7            :func:`repro.core.experiments.es_programming.run_es_programming_example`
+==================  ===============================================
+"""
+
+from repro.core.experiments.cost_table import run_cost_table
+from repro.core.experiments.es_programming import run_es_programming_example
+from repro.core.experiments.lookahead import ROUTER_VARIANTS, run_lookahead_comparison
+from repro.core.experiments.message_length import run_message_length_study
+from repro.core.experiments.path_selection import run_path_selection_study
+from repro.core.experiments.table_storage import TABLE_SCHEMES, run_table_storage_study
+
+__all__ = [
+    "ROUTER_VARIANTS",
+    "TABLE_SCHEMES",
+    "run_cost_table",
+    "run_es_programming_example",
+    "run_lookahead_comparison",
+    "run_message_length_study",
+    "run_path_selection_study",
+    "run_table_storage_study",
+]

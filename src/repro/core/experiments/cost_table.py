@@ -1,0 +1,30 @@
+"""Table 5: storage-cost and property summary of the table organisations."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.tables.cost_model import table_cost_summary
+
+__all__ = ["run_cost_table"]
+
+
+def run_cost_table(
+    num_nodes: int = 256,
+    n_dims: int = 2,
+    num_ports: Optional[int] = None,
+    meta_levels: int = 2,
+) -> List[Dict[str, object]]:
+    """Reproduce Table 5 for a network of ``num_nodes`` nodes.
+
+    The default arguments describe the paper's 256-node 2-D mesh; the Cray
+    T3D comparison in Section 5.2.1 corresponds to
+    ``run_cost_table(num_nodes=2048, n_dims=3)``.
+    """
+    summaries = table_cost_summary(
+        num_nodes=num_nodes,
+        n_dims=n_dims,
+        num_ports=num_ports,
+        meta_levels=meta_levels,
+    )
+    return [summary.as_row() for summary in summaries]

@@ -1,0 +1,62 @@
+"""Figure 7: economical-storage table programming for North-Last routing.
+
+The paper programs the 9-entry economical-storage table of router (1, 1)
+in a 3x3 mesh for North-Last partially adaptive routing, showing for every
+destination the sign pair, the candidate minimal ports and the ports the
+North-Last algorithm actually permits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.network.topology import MeshTopology
+from repro.routing.providers import minimal_adaptive_provider, north_last_provider
+from repro.tables.economical import EconomicalStorageTable
+
+__all__ = ["run_es_programming_example"]
+
+
+def _port_names(topology: MeshTopology, ports: Tuple[int, ...]) -> str:
+    names = {0: "local"}
+    names[1] = "+X"
+    names[2] = "-X"
+    names[3] = "+Y"
+    names[4] = "-Y"
+    return ", ".join(names[port] for port in ports)
+
+
+def run_es_programming_example(
+    mesh_extent: int = 3, node_coords: Tuple[int, int] = (1, 1)
+) -> List[Dict[str, object]]:
+    """Reproduce Figure 7(d) for the router at ``node_coords``.
+
+    Returns one row per destination node with the sign pair, the fully
+    adaptive candidate ports and the ports permitted by North-Last
+    routing (some minimal ports are denied to guarantee deadlock freedom).
+    """
+    topology = MeshTopology((mesh_extent, mesh_extent))
+    node = topology.node_id(node_coords)
+    adaptive_table = EconomicalStorageTable(
+        topology, provider=minimal_adaptive_provider(topology)
+    )
+    north_last_table = EconomicalStorageTable(
+        topology, provider=north_last_provider(topology)
+    )
+    rows: List[Dict[str, object]] = []
+    for destination in range(topology.num_nodes):
+        signs = topology.relative_signs(node, destination)
+        rows.append(
+            {
+                "destination": topology.coordinates(destination),
+                "sign_x": {1: "+", -1: "-", 0: "0"}[signs[0]],
+                "sign_y": {1: "+", -1: "-", 0: "0"}[signs[1]],
+                "candidate_ports": _port_names(
+                    topology, adaptive_table.lookup(node, destination)
+                ),
+                "north_last_ports": _port_names(
+                    topology, north_last_table.lookup(node, destination)
+                ),
+            }
+        )
+    return rows

@@ -1,0 +1,83 @@
+"""Figure 5: look-ahead and adaptivity comparison.
+
+The paper compares four router organisations -- deterministic and
+adaptive, each with and without look-ahead -- over four traffic patterns,
+reporting the percentage latency increase of each organisation relative to
+the look-ahead adaptive router (LA ADAPT) plus the absolute LA ADAPT
+latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.config import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.core.simulator import NetworkSimulator
+
+__all__ = ["ROUTER_VARIANTS", "run_lookahead_comparison"]
+
+#: The four router organisations of Figure 5, as configuration overrides.
+ROUTER_VARIANTS: Dict[str, Dict[str, str]] = {
+    "no-la-det": {"pipeline": "proud", "routing": "dimension-order"},
+    "no-la-adapt": {"pipeline": "proud", "routing": "duato"},
+    "la-det": {"pipeline": "la-proud", "routing": "dimension-order"},
+    "la-adapt": {"pipeline": "la-proud", "routing": "duato"},
+}
+
+#: The organisation every other one is normalised against.
+_REFERENCE = "la-adapt"
+
+
+def _run_variant(
+    base: SimulationConfig, variant: str, traffic: str, load: float
+) -> SimulationResult:
+    overrides = dict(ROUTER_VARIANTS[variant])
+    config = base.variant(traffic=traffic, normalized_load=load, **overrides)
+    return NetworkSimulator(config).run()
+
+
+def run_lookahead_comparison(
+    base_config: SimulationConfig,
+    traffic_patterns: Sequence[str] = ("uniform", "transpose"),
+    loads: Sequence[float] = (0.1, 0.3, 0.5),
+    variants: Sequence[str] = tuple(ROUTER_VARIANTS),
+) -> List[Dict[str, object]]:
+    """Reproduce Figure 5 for the given patterns and loads.
+
+    Returns one row per (traffic, load) with the absolute latency of every
+    router organisation and the percentage latency increase of each
+    organisation over the LA ADAPT reference (positive = slower than
+    LA ADAPT, the way the paper's bars read).
+    """
+    if _REFERENCE not in variants:
+        variants = tuple(variants) + (_REFERENCE,)
+    rows: List[Dict[str, object]] = []
+    for traffic in traffic_patterns:
+        for load in loads:
+            results = {
+                variant: _run_variant(base_config, variant, traffic, load)
+                for variant in variants
+            }
+            reference = results[_REFERENCE]
+            row: Dict[str, object] = {
+                "traffic": traffic,
+                "load": load,
+                "la_adapt_latency": reference.latency,
+                "la_adapt_saturated": reference.saturated,
+            }
+            for variant, result in results.items():
+                if variant == _REFERENCE:
+                    continue
+                row[f"{variant}_latency"] = result.latency
+                row[f"{variant}_saturated"] = result.saturated
+                if reference.latency > 0:
+                    increase = 100.0 * (result.latency - reference.latency) / reference.latency
+                else:
+                    increase = 0.0
+                row[f"{variant}_pct_increase"] = increase
+            rows.append(row)
+            # The paper only plots loads up to saturation of the reference.
+            if reference.saturated:
+                break
+    return rows

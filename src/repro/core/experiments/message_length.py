@@ -1,0 +1,55 @@
+"""Table 3: impact of message length on the look-ahead benefit.
+
+The paper fixes uniform traffic at normalized load 0.2 and compares the
+adaptive router with and without look-ahead for 5-, 10-, 20- and 50-flit
+messages: the shorter the message, the larger the relative gain from
+removing one pipeline stage per hop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import NetworkSimulator
+
+__all__ = ["run_message_length_study"]
+
+
+def run_message_length_study(
+    base_config: SimulationConfig,
+    message_lengths: Sequence[int] = (5, 10, 20, 50),
+    traffic: str = "uniform",
+    load: float = 0.2,
+) -> List[Dict[str, object]]:
+    """Reproduce Table 3.
+
+    Returns one row per message length with the adaptive-router latency
+    with look-ahead, without look-ahead, and the percentage improvement.
+    """
+    rows: List[Dict[str, object]] = []
+    for length in message_lengths:
+        lookahead_config = base_config.variant(
+            traffic=traffic,
+            normalized_load=load,
+            message_length=length,
+            routing="duato",
+            pipeline="la-proud",
+        )
+        baseline_config = lookahead_config.variant(pipeline="proud")
+        lookahead = NetworkSimulator(lookahead_config).run()
+        baseline = NetworkSimulator(baseline_config).run()
+        if baseline.latency > 0:
+            improvement = 100.0 * (baseline.latency - lookahead.latency) / baseline.latency
+        else:
+            improvement = 0.0
+        rows.append(
+            {
+                "message_length": length,
+                "lookahead_latency": lookahead.latency,
+                "no_lookahead_latency": baseline.latency,
+                "pct_improvement": improvement,
+                "saturated": lookahead.saturated or baseline.saturated,
+            }
+        )
+    return rows

@@ -1,0 +1,48 @@
+"""Figure 6: performance of the path-selection heuristics.
+
+The paper plots average latency versus load for five path-selection
+heuristics (STATIC-XY, MIN-MUX, LFU, LRU, MAX-CREDIT) on the look-ahead
+adaptive router, over the four traffic patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import NetworkSimulator
+
+__all__ = ["PAPER_SELECTORS", "run_path_selection_study"]
+
+#: The five heuristics evaluated in Figure 6, in the paper's legend order.
+PAPER_SELECTORS = ("static-xy", "min-mux", "lfu", "lru", "max-credit")
+
+
+def run_path_selection_study(
+    base_config: SimulationConfig,
+    selectors: Sequence[str] = PAPER_SELECTORS,
+    traffic_patterns: Sequence[str] = ("transpose",),
+    loads: Sequence[float] = (0.2, 0.4),
+) -> List[Dict[str, object]]:
+    """Reproduce Figure 6 for the given heuristics, patterns and loads.
+
+    Returns one row per (traffic, load) with each heuristic's average
+    latency (and a ``<name>_saturated`` flag per heuristic).
+    """
+    rows: List[Dict[str, object]] = []
+    for traffic in traffic_patterns:
+        for load in loads:
+            row: Dict[str, object] = {"traffic": traffic, "load": load}
+            for selector in selectors:
+                config = base_config.variant(
+                    traffic=traffic,
+                    normalized_load=load,
+                    selector=selector,
+                    routing="duato",
+                    pipeline="la-proud",
+                )
+                result = NetworkSimulator(config).run()
+                row[f"{selector}_latency"] = result.latency
+                row[f"{selector}_saturated"] = result.saturated
+            rows.append(row)
+    return rows

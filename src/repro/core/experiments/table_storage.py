@@ -1,0 +1,69 @@
+"""Table 4: performance of the routing-table storage schemes.
+
+The paper compares, per traffic pattern and load:
+
+* meta-table routing programmed for *maximal* adaptivity (block cluster
+  mapping, the paper's "Meta-Tbl Adp." column),
+* meta-table routing programmed for *minimal* adaptivity (row cluster
+  mapping, the "Meta-Tbl Det." column, equivalent to deterministic
+  dimension-order routing), and
+* full-table routing, whose performance is identical to the proposed
+  economical-storage table (the "Full-Tbl-Adp. / Econ. Storage" column).
+
+Saturated points are reported as "Sat." just like the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import NetworkSimulator
+
+__all__ = ["TABLE_SCHEMES", "run_table_storage_study"]
+
+#: Column name -> table organisation, in the paper's column order.
+TABLE_SCHEMES: Dict[str, str] = {
+    "meta_adaptive": "meta-block",
+    "meta_deterministic": "meta-row",
+    "economical": "economical",
+}
+
+
+def run_table_storage_study(
+    base_config: SimulationConfig,
+    traffic_patterns: Sequence[str] = ("uniform", "transpose"),
+    loads: Sequence[float] = (0.1, 0.3),
+    schemes: Dict[str, str] = None,
+    include_full_table: bool = False,
+) -> List[Dict[str, object]]:
+    """Reproduce Table 4 for the given patterns and loads.
+
+    Returns one row per (traffic, load) with each scheme's latency, its
+    saturation flag and a printable label ("Sat." when saturated).  Set
+    ``include_full_table`` to also simulate the full-table organisation
+    explicitly and confirm it matches the economical-storage column.
+    """
+    if schemes is None:
+        schemes = dict(TABLE_SCHEMES)
+    if include_full_table and "full" not in schemes.values():
+        schemes = dict(schemes)
+        schemes["full_table"] = "full"
+    rows: List[Dict[str, object]] = []
+    for traffic in traffic_patterns:
+        for load in loads:
+            row: Dict[str, object] = {"traffic": traffic, "load": load}
+            for column, table in schemes.items():
+                config = base_config.variant(
+                    traffic=traffic,
+                    normalized_load=load,
+                    table=table,
+                    routing="duato",
+                    pipeline="la-proud",
+                )
+                result = NetworkSimulator(config).run()
+                row[f"{column}_latency"] = result.latency
+                row[f"{column}_saturated"] = result.saturated
+                row[f"{column}_label"] = result.latency_label()
+            rows.append(row)
+    return rows

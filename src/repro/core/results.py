@@ -1,0 +1,99 @@
+"""Result records and plain-text report formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.config import SimulationConfig
+from repro.stats.latency import LatencySummary
+
+__all__ = ["SimulationResult", "format_rows", "format_value"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything produced by one simulation run."""
+
+    #: The configuration that was simulated.
+    config: SimulationConfig
+    #: Aggregated latency/throughput statistics.
+    summary: LatencySummary
+    #: Analytic contention-free latency of an average message (cycles).
+    zero_load_latency: float
+    #: Cycles actually simulated.
+    cycles: int
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the run was flagged as saturated."""
+        return self.summary.saturated
+
+    @property
+    def latency(self) -> float:
+        """Shorthand for the average total latency in cycles."""
+        return self.summary.avg_total_latency
+
+    def latency_label(self, precision: int = 1) -> str:
+        """The latency formatted the way the paper's tables print it
+        ("Sat." for saturated points)."""
+        if self.saturated:
+            return "Sat."
+        return f"{self.latency:.{precision}f}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary (config highlights plus summary) for reports."""
+        return {
+            "pipeline": self.config.pipeline,
+            "routing": self.config.routing,
+            "table": self.config.table,
+            "selector": self.config.selector,
+            "traffic": self.config.traffic,
+            "load": self.config.normalized_load,
+            "latency": self.latency,
+            "network_latency": self.summary.avg_network_latency,
+            "hops": self.summary.avg_hops,
+            "throughput": self.summary.throughput,
+            "saturated": self.saturated,
+            "cycles": self.cycles,
+        }
+
+
+def format_value(value: object, precision: int = 1) -> str:
+    """Human-friendly rendering of one table cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_rows(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 1,
+) -> str:
+    """Render a list of dictionaries as an aligned plain-text table.
+
+    Used by the examples and the benchmark harness to print the
+    reproduced tables/figures in a shape comparable to the paper's.
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [
+        [format_value(row.get(column, ""), precision) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(column)), max(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[index]) for index, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(line[index].ljust(widths[index]) for index in range(len(columns)))
+        for line in rendered
+    ]
+    return "\n".join([header, separator] + body)

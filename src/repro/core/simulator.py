@@ -1,0 +1,230 @@
+"""The simulation facade: build a network from a configuration and run it.
+
+:class:`NetworkSimulator` is the main entry point of the library.  It
+translates the plain-data :class:`~repro.core.config.SimulationConfig`
+into topology, tables, routing, selection, traffic and statistics objects,
+wires them into a :class:`~repro.network.network.Network`, drives the
+cycle-level kernel and returns a
+:class:`~repro.core.results.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.engine.kernel import SimulationKernel
+from repro.engine.rng import SimulationRNG
+from repro.network.network import Network
+from repro.network.topology import MeshTopology, Topology, TorusTopology
+from repro.router.config import RouterConfig
+from repro.router.pipeline import pipeline_by_name
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.routing.duato import DuatoFullyAdaptiveRouting
+from repro.routing.turn_model import TurnModelRouting
+from repro.selection.heuristics import make_selector
+from repro.stats.collector import StatsCollector
+from repro.stats.saturation import SaturationPolicy, is_saturated
+from repro.tables.base import RoutingTable
+from repro.tables.economical import EconomicalStorageTable
+from repro.tables.full_table import FullRoutingTable
+from repro.tables.interval import IntervalRoutingTable
+from repro.tables.mappings import BlockClusterMapping, RowClusterMapping
+from repro.tables.meta_table import MetaRoutingTable
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.injection import (
+    BernoulliInjection,
+    ExponentialInjection,
+    InjectionProcess,
+    message_rate_for_load,
+)
+from repro.traffic.patterns import make_pattern
+
+__all__ = ["NetworkSimulator", "build_table", "build_routing", "build_topology"]
+
+
+def build_topology(config: SimulationConfig) -> Topology:
+    """Construct the mesh or torus described by ``config``."""
+    if config.torus:
+        return TorusTopology(config.mesh_dims)
+    return MeshTopology(config.mesh_dims)
+
+
+def build_table(config: SimulationConfig, topology: Topology) -> RoutingTable:
+    """Construct the routing table organisation described by ``config``."""
+    name = config.table
+    if name == "full":
+        return FullRoutingTable(topology)
+    if name == "economical":
+        return EconomicalStorageTable(topology)
+    if name == "meta-row":
+        return MetaRoutingTable(topology, RowClusterMapping(topology))
+    if name == "meta-block":
+        return MetaRoutingTable(topology, BlockClusterMapping(topology))
+    if name == "interval":
+        return IntervalRoutingTable(topology)
+    raise ValueError(
+        f"unknown table organisation {name!r}; expected one of "
+        "'full', 'economical', 'meta-row', 'meta-block', 'interval'"
+    )
+
+
+def build_routing(
+    config: SimulationConfig, topology: Topology, table: RoutingTable
+) -> RoutingAlgorithm:
+    """Construct the routing algorithm described by ``config``."""
+    name = config.routing
+    if name == "duato":
+        return DuatoFullyAdaptiveRouting(
+            topology, table, num_escape_vcs=config.num_escape_vcs
+        )
+    if name == "dimension-order":
+        return DimensionOrderRouting(topology)
+    if name in ("north-last", "west-first", "negative-first"):
+        return TurnModelRouting(topology, model=name)
+    raise ValueError(
+        f"unknown routing algorithm {name!r}; expected 'duato', 'dimension-order', "
+        "'north-last', 'west-first' or 'negative-first'"
+    )
+
+
+def _build_injection(config: SimulationConfig, rate: float) -> InjectionProcess:
+    if config.injection == "exponential":
+        return ExponentialInjection(rate)
+    if config.injection == "bernoulli":
+        return BernoulliInjection(min(rate, 1.0))
+    raise ValueError(
+        f"unknown injection process {config.injection!r}; expected "
+        "'exponential' or 'bernoulli'"
+    )
+
+
+class NetworkSimulator:
+    """Builds and runs one simulation described by a configuration."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self._config = config
+        self._rng = SimulationRNG(seed=config.seed)
+        self._topology = build_topology(config)
+        self._table = build_table(config, self._topology)
+        self._routing = build_routing(config, self._topology, self._table)
+        self._router_config = RouterConfig(
+            vcs_per_port=config.vcs_per_port,
+            buffer_depth=config.buffer_depth,
+            pipeline=pipeline_by_name(config.pipeline),
+            link_delay=config.link_delay,
+            credit_delay=config.credit_delay,
+        )
+        message_rate = message_rate_for_load(
+            self._topology, config.message_length, config.normalized_load
+        )
+        pattern = make_pattern(config.traffic, self._topology)
+        process = _build_injection(config, message_rate)
+        self._generator = TrafficGenerator(
+            topology=self._topology,
+            pattern=pattern,
+            process=process,
+            message_length=config.message_length,
+            rng=self._rng,
+            max_messages=config.total_messages,
+        )
+        self._stats = StatsCollector(
+            warmup_messages=config.warmup_messages,
+            measure_messages=config.measure_messages,
+            num_nodes=self._topology.num_nodes,
+            keep_samples=config.keep_samples,
+        )
+        self._network = Network(
+            topology=self._topology,
+            router_config=self._router_config,
+            routing=self._routing,
+            selector_factory=self._make_selector,
+            stats=self._stats,
+            sources=self._generator.sources(),
+        )
+        self._kernel = SimulationKernel()
+        self._kernel.register_all(self._network.components())
+        self._kernel.add_stop_condition(lambda cycle: self._stats.all_measured_delivered())
+        self._message_rate = message_rate
+
+    def _make_selector(self, node: int):
+        return make_selector(self._config.selector, self._rng.stream(f"selector-{node}"))
+
+    # -- accessors -------------------------------------------------------------------
+
+    @property
+    def config(self) -> SimulationConfig:
+        """The configuration being simulated."""
+        return self._config
+
+    @property
+    def network(self) -> Network:
+        """The assembled network (exposed for tests and introspection)."""
+        return self._network
+
+    @property
+    def topology(self) -> Topology:
+        """The topology being simulated."""
+        return self._topology
+
+    @property
+    def table(self) -> RoutingTable:
+        """The routing table organisation in use."""
+        return self._table
+
+    @property
+    def stats(self) -> StatsCollector:
+        """The statistics collector fed by the network interfaces."""
+        return self._stats
+
+    # -- analytics ---------------------------------------------------------------------
+
+    def zero_load_latency(self) -> float:
+        """Analytic contention-free latency of an average message (cycles).
+
+        The header crosses ``average distance + 1`` router pipelines (the
+        +1 accounts for injection/ejection overhead at the endpoints) and
+        the remaining flits add one cycle each of serialization.
+        """
+        hop = self._router_config.pipeline.hop_latency(self._config.link_delay)
+        average_distance = self._topology.average_distance()
+        return (average_distance + 1.0) * hop + (self._config.message_length - 1)
+
+    def default_max_cycles(self) -> int:
+        """Cycle budget derived from the offered load and drain factor."""
+        total_rate = self._message_rate * self._topology.num_nodes
+        if total_rate <= 0:
+            return 10_000
+        generation_cycles = self._config.total_messages / total_rate
+        budget = generation_cycles * self._config.drain_factor
+        budget += 20 * self.zero_load_latency() + 2_000
+        return int(budget)
+
+    # -- running ------------------------------------------------------------------------
+
+    def run(self, max_cycles: Optional[int] = None) -> SimulationResult:
+        """Run until every measured message is delivered or the cycle budget
+        is exhausted, then summarise."""
+        if max_cycles is None:
+            max_cycles = (
+                self._config.max_cycles
+                if self._config.max_cycles is not None
+                else self.default_max_cycles()
+            )
+        self._kernel.run(max_cycles)
+        cycles = self._kernel.clock.now
+        zero_load = self.zero_load_latency()
+        preliminary = self._stats.summary(cycles)
+        saturated = is_saturated(preliminary, zero_load, SaturationPolicy())
+        summary = self._stats.summary(cycles, saturated=saturated)
+        return SimulationResult(
+            config=self._config,
+            summary=summary,
+            zero_load_latency=zero_load,
+            cycles=cycles,
+        )
+
+    def __repr__(self) -> str:
+        return f"NetworkSimulator(config={self._config!r})"

@@ -1,0 +1,52 @@
+"""Load sweeps: the latency-versus-normalized-load curves of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.config import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.core.simulator import NetworkSimulator
+
+__all__ = ["LoadSweepPoint", "run_load_sweep"]
+
+
+@dataclass(frozen=True)
+class LoadSweepPoint:
+    """One point of a latency/load curve."""
+
+    normalized_load: float
+    result: SimulationResult
+
+    @property
+    def latency(self) -> float:
+        """Average total latency at this load."""
+        return self.result.latency
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the network was saturated at this load."""
+        return self.result.saturated
+
+
+def run_load_sweep(
+    base_config: SimulationConfig,
+    loads: Sequence[float],
+    stop_at_saturation: bool = True,
+) -> List[LoadSweepPoint]:
+    """Simulate ``base_config`` at each normalized load in ``loads``.
+
+    When ``stop_at_saturation`` is True the sweep stops after the first
+    saturated point (the paper only presents loads "leading up to network
+    saturation"); the saturated point itself is included so tables can
+    print "Sat." rows.
+    """
+    points: List[LoadSweepPoint] = []
+    for load in loads:
+        config = base_config.variant(normalized_load=load)
+        result = NetworkSimulator(config).run()
+        points.append(LoadSweepPoint(normalized_load=load, result=result))
+        if stop_at_saturation and result.saturated:
+            break
+    return points

@@ -1,0 +1,112 @@
+"""The per-cycle simulation driver.
+
+The PROUD simulator is cycle driven: every cycle, each component performs
+its work for that cycle in a fixed phase order.  :class:`SimulationKernel`
+owns the global clock, the ordered list of clocked components and the stop
+conditions, and exposes :meth:`SimulationKernel.run` to advance the whole
+system.
+
+The phase order matters.  Within a cycle the kernel first lets every
+component *deliver* state produced in earlier cycles (flits arriving over
+links, credits returning), then lets every component *evaluate* its
+decisions for the current cycle (routing, virtual-channel allocation,
+switch allocation), so no component can observe another component's
+same-cycle decisions.  This mirrors the two-phase (read/compute) update of
+hardware simulators and keeps the simulation independent of component
+iteration order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Protocol, runtime_checkable
+
+from repro.engine.clock import Clock
+
+__all__ = ["Clocked", "SimulationKernel", "StopCondition"]
+
+
+#: A stop condition receives the current cycle and returns True to halt.
+StopCondition = Callable[[int], bool]
+
+
+@runtime_checkable
+class Clocked(Protocol):
+    """Protocol implemented by every component driven by the kernel.
+
+    ``deliver`` consumes state that was produced in previous cycles and is
+    scheduled to arrive now (e.g. flits finishing their link traversal).
+    ``evaluate`` performs this cycle's decision making (e.g. arbitration)
+    using only state visible after all components delivered.
+    """
+
+    def deliver(self, cycle: int) -> None:  # pragma: no cover - protocol
+        ...
+
+    def evaluate(self, cycle: int) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class SimulationKernel:
+    """Drives a set of :class:`Clocked` components cycle by cycle."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._clock = clock if clock is not None else Clock()
+        self._components: List[Clocked] = []
+        self._stop_conditions: List[StopCondition] = []
+
+    @property
+    def clock(self) -> Clock:
+        """The global clock owned by this kernel."""
+        return self._clock
+
+    @property
+    def components(self) -> List[Clocked]:
+        """The registered components, in registration (phase) order."""
+        return list(self._components)
+
+    def register(self, component: Clocked) -> None:
+        """Add a component to the per-cycle schedule."""
+        self._components.append(component)
+
+    def register_all(self, components: Iterable[Clocked]) -> None:
+        """Add several components, preserving their iteration order."""
+        for component in components:
+            self.register(component)
+
+    def add_stop_condition(self, condition: StopCondition) -> None:
+        """Halt the run as soon as ``condition(cycle)`` returns True."""
+        self._stop_conditions.append(condition)
+
+    def step(self) -> int:
+        """Execute exactly one cycle and return the cycle that was executed."""
+        cycle = self._clock.now
+        for component in self._components:
+            component.deliver(cycle)
+        for component in self._components:
+            component.evaluate(cycle)
+        self._clock.tick()
+        return cycle
+
+    def run(self, max_cycles: int) -> int:
+        """Run until a stop condition fires or ``max_cycles`` cycles elapse.
+
+        Returns the number of cycles actually executed in this call.
+        """
+        if max_cycles < 0:
+            raise ValueError(f"max_cycles must be non-negative, got {max_cycles}")
+        executed = 0
+        while executed < max_cycles:
+            if self._should_stop(self._clock.now):
+                break
+            self.step()
+            executed += 1
+        return executed
+
+    def _should_stop(self, cycle: int) -> bool:
+        return any(condition(cycle) for condition in self._stop_conditions)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationKernel(cycle={self._clock.now}, "
+            f"components={len(self._components)})"
+        )

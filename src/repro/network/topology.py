@@ -1,0 +1,330 @@
+"""n-dimensional mesh and torus topologies.
+
+Port-numbering convention (used by every other module in the library):
+
+* port ``0`` is the **local** port connecting the router to its node's
+  network interface (the paper's "exit port 0");
+* for dimension ``d`` (dimension 0 is X, dimension 1 is Y, ...), the port
+  toward the **positive** direction is ``1 + 2*d`` and the port toward the
+  **negative** direction is ``2 + 2*d``.
+
+For a 2-D mesh this yields the paper's five-port router: 0 = local,
+1 = +X (East), 2 = -X (West), 3 = +Y (North), 4 = -Y (South).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "LOCAL_PORT",
+    "MeshTopology",
+    "Topology",
+    "TorusTopology",
+    "port_direction",
+    "port_for",
+]
+
+#: The router port connected to the local network interface.
+LOCAL_PORT = 0
+
+
+def port_for(dimension: int, positive: bool) -> int:
+    """Return the output-port index for travelling along ``dimension``.
+
+    ``positive`` selects the +direction port (East/North/Up...), otherwise
+    the -direction port is returned.
+    """
+    if dimension < 0:
+        raise ValueError(f"dimension must be non-negative, got {dimension}")
+    return 1 + 2 * dimension + (0 if positive else 1)
+
+
+def port_direction(port: int) -> Tuple[int, int]:
+    """Inverse of :func:`port_for`: return ``(dimension, sign)`` for a port.
+
+    ``sign`` is +1 for the positive-direction port and -1 for the negative
+    one.  Raises ``ValueError`` for the local port, which has no direction.
+    """
+    if port == LOCAL_PORT:
+        raise ValueError("the local port has no direction")
+    if port < 0:
+        raise ValueError(f"invalid port {port}")
+    dimension, offset = divmod(port - 1, 2)
+    return dimension, (1 if offset == 0 else -1)
+
+
+class Topology:
+    """Base class for regular point-to-point topologies.
+
+    Nodes are numbered 0..N-1.  Coordinates are tuples with the dimension-0
+    coordinate varying fastest (node 1 is the +X neighbor of node 0).
+    """
+
+    #: Subclasses set this to True when links wrap around (tori).
+    wraps = False
+
+    def __init__(self, dims: Sequence[int]) -> None:
+        dims = tuple(int(k) for k in dims)
+        if not dims:
+            raise ValueError("topology needs at least one dimension")
+        if any(k < 2 for k in dims):
+            raise ValueError(f"every dimension must have at least 2 nodes, got {dims}")
+        self._dims = dims
+        self._num_nodes = 1
+        for k in dims:
+            self._num_nodes *= k
+        # Pre-compute the coordinate <-> id maps once; they are consulted in
+        # the routers' inner loops.
+        self._coords: List[Tuple[int, ...]] = [
+            self._id_to_coords(node) for node in range(self._num_nodes)
+        ]
+        self._neighbor_table: List[List[Optional[int]]] = [
+            [None] * self.radix for _ in range(self._num_nodes)
+        ]
+        for node in range(self._num_nodes):
+            for port in range(1, self.radix):
+                self._neighbor_table[node][port] = self._compute_neighbor(node, port)
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def dims(self) -> Tuple[int, ...]:
+        """Extent of each dimension, e.g. ``(16, 16)`` for the paper's mesh."""
+        return self._dims
+
+    @property
+    def n_dims(self) -> int:
+        """Number of dimensions."""
+        return len(self._dims)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes."""
+        return self._num_nodes
+
+    @property
+    def radix(self) -> int:
+        """Number of router ports: one local port plus two per dimension."""
+        return 1 + 2 * self.n_dims
+
+    def coordinates(self, node: int) -> Tuple[int, ...]:
+        """Cartesian coordinates of ``node``."""
+        return self._coords[node]
+
+    def node_id(self, coords: Sequence[int]) -> int:
+        """Node identifier for a coordinate tuple."""
+        if len(coords) != self.n_dims:
+            raise ValueError(
+                f"expected {self.n_dims} coordinates, got {len(coords)}"
+            )
+        node = 0
+        stride = 1
+        for coordinate, extent in zip(coords, self._dims):
+            if not 0 <= coordinate < extent:
+                raise ValueError(f"coordinate {coords} outside mesh {self._dims}")
+            node += coordinate * stride
+            stride *= extent
+        return node
+
+    def _id_to_coords(self, node: int) -> Tuple[int, ...]:
+        coords = []
+        remainder = node
+        for extent in self._dims:
+            remainder, coordinate = divmod(remainder, extent)
+            coords.append(coordinate)
+        # note: divmod order -- coordinate is remainder % extent
+        return tuple(coords)
+
+    # -- connectivity ------------------------------------------------------
+
+    def neighbor(self, node: int, port: int) -> Optional[int]:
+        """Node reached by leaving ``node`` through ``port`` (None at edges)."""
+        if port == LOCAL_PORT:
+            return None
+        return self._neighbor_table[node][port]
+
+    def _compute_neighbor(self, node: int, port: int) -> Optional[int]:
+        raise NotImplementedError
+
+    def reverse_port(self, port: int) -> int:
+        """The input port at the neighbor that a link through ``port`` feeds."""
+        dimension, sign = port_direction(port)
+        return port_for(dimension, positive=(sign < 0))
+
+    def links(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Iterate over unidirectional links.
+
+        Yields ``(node, out_port, neighbor, neighbor_in_port)`` for every
+        connected non-local port of every node.
+        """
+        for node in range(self._num_nodes):
+            for port in range(1, self.radix):
+                neighbor = self.neighbor(node, port)
+                if neighbor is not None:
+                    yield node, port, neighbor, self.reverse_port(port)
+
+    # -- routing geometry ---------------------------------------------------
+
+    def relative_signs(self, current: int, destination: int) -> Tuple[int, ...]:
+        """Sign of the minimal travel direction per dimension.
+
+        This is the (s_x, s_y, ...) tuple the economical-storage table is
+        indexed by (Section 5.2.1 of the paper): +1, -1 or 0 per dimension.
+        """
+        raise NotImplementedError
+
+    def minimal_ports(self, current: int, destination: int) -> Tuple[int, ...]:
+        """Productive (minimal-path) output ports from ``current`` toward
+        ``destination``.
+
+        Returns ``(LOCAL_PORT,)`` when ``current`` is the destination.
+        """
+        if current == destination:
+            return (LOCAL_PORT,)
+        ports = []
+        for dimension, sign in enumerate(self.relative_signs(current, destination)):
+            if sign > 0:
+                ports.append(port_for(dimension, positive=True))
+            elif sign < 0:
+                ports.append(port_for(dimension, positive=False))
+        return tuple(ports)
+
+    def dimension_order_port(self, current: int, destination: int) -> int:
+        """Deterministic dimension-order (XY) routing decision.
+
+        Corrects the lowest dimension whose offset is non-zero first; this
+        is the escape-channel route used by Duato's algorithm and the
+        STATIC-XY preference order.
+        """
+        if current == destination:
+            return LOCAL_PORT
+        for dimension, sign in enumerate(self.relative_signs(current, destination)):
+            if sign > 0:
+                return port_for(dimension, positive=True)
+            if sign < 0:
+                return port_for(dimension, positive=False)
+        raise AssertionError("no productive dimension found for distinct nodes")
+
+    def distance(self, source: int, destination: int) -> int:
+        """Minimal hop count between two nodes."""
+        raise NotImplementedError
+
+    def average_distance(self) -> float:
+        """Average minimal hop count over all ordered source/dest pairs."""
+        total = 0
+        count = 0
+        for source in range(self._num_nodes):
+            for destination in range(self._num_nodes):
+                if source == destination:
+                    continue
+                total += self.distance(source, destination)
+                count += 1
+        return total / count if count else 0.0
+
+    # -- capacity ----------------------------------------------------------
+
+    def bisection_channels(self) -> int:
+        """Unidirectional channels crossing the worst-case mid bisection."""
+        raise NotImplementedError
+
+    def saturation_flit_rate(self) -> float:
+        """Per-node flit injection rate that saturates the bisection under
+        node-uniform traffic.
+
+        Normalized load 1.0 in the paper corresponds to this rate (Section
+        2.2): the injection rate at which uniform traffic fully loads the
+        network bisection.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        kind = type(self).__name__
+        dims = "x".join(str(k) for k in self._dims)
+        return f"{kind}({dims}, nodes={self._num_nodes})"
+
+
+class MeshTopology(Topology):
+    """k-ary n-dimensional mesh (no wraparound links)."""
+
+    wraps = False
+
+    def _compute_neighbor(self, node: int, port: int) -> Optional[int]:
+        dimension, sign = port_direction(port)
+        coords = list(self.coordinates(node))
+        coords[dimension] += sign
+        if not 0 <= coords[dimension] < self._dims[dimension]:
+            return None
+        return self.node_id(coords)
+
+    def relative_signs(self, current: int, destination: int) -> Tuple[int, ...]:
+        current_coords = self.coordinates(current)
+        destination_coords = self.coordinates(destination)
+        signs = []
+        for here, there in zip(current_coords, destination_coords):
+            offset = there - here
+            signs.append(0 if offset == 0 else (1 if offset > 0 else -1))
+        return tuple(signs)
+
+    def distance(self, source: int, destination: int) -> int:
+        source_coords = self.coordinates(source)
+        destination_coords = self.coordinates(destination)
+        return sum(abs(a - b) for a, b in zip(source_coords, destination_coords))
+
+    def bisection_channels(self) -> int:
+        # Cutting the largest dimension in half severs one bidirectional
+        # link per node in the cut plane; the cut plane has N / k_max nodes.
+        k_max = max(self._dims)
+        return 2 * (self._num_nodes // k_max)
+
+    def saturation_flit_rate(self) -> float:
+        # Under uniform traffic a quarter of all injected flits cross the
+        # mid bisection in each direction, so the per-node rate that loads
+        # the (N / k_max) same-direction crossing channels to capacity is
+        # 4 / k_max flits per cycle per node.
+        return 4.0 / max(self._dims)
+
+
+class TorusTopology(Topology):
+    """k-ary n-dimensional torus (wraparound links in every dimension)."""
+
+    wraps = True
+
+    def _compute_neighbor(self, node: int, port: int) -> Optional[int]:
+        dimension, sign = port_direction(port)
+        coords = list(self.coordinates(node))
+        coords[dimension] = (coords[dimension] + sign) % self._dims[dimension]
+        return self.node_id(coords)
+
+    def relative_signs(self, current: int, destination: int) -> Tuple[int, ...]:
+        current_coords = self.coordinates(current)
+        destination_coords = self.coordinates(destination)
+        signs = []
+        for here, there, extent in zip(current_coords, destination_coords, self._dims):
+            offset = (there - here) % extent
+            if offset == 0:
+                signs.append(0)
+            elif offset <= extent - offset:
+                # Going in the positive direction is minimal (ties break
+                # toward the positive direction for determinism).
+                signs.append(1)
+            else:
+                signs.append(-1)
+        return tuple(signs)
+
+    def distance(self, source: int, destination: int) -> int:
+        source_coords = self.coordinates(source)
+        destination_coords = self.coordinates(destination)
+        total = 0
+        for here, there, extent in zip(source_coords, destination_coords, self._dims):
+            offset = abs(there - here)
+            total += min(offset, extent - offset)
+        return total
+
+    def bisection_channels(self) -> int:
+        # The wrap links double the number of channels crossing the cut.
+        k_max = max(self._dims)
+        return 4 * (self._num_nodes // k_max)
+
+    def saturation_flit_rate(self) -> float:
+        return 8.0 / max(self._dims)

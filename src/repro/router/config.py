@@ -1,0 +1,62 @@
+"""Router configuration record.
+
+Collects the microarchitectural parameters of Table 2 of the paper in one
+validated dataclass shared by the router, the network assembly and the
+top-level simulation configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.router.pipeline import PROUD, PipelineTiming
+
+__all__ = ["RouterConfig"]
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Microarchitectural parameters of every router in the network.
+
+    Parameters
+    ----------
+    vcs_per_port:
+        Virtual channels per physical channel (the paper uses 4).
+    buffer_depth:
+        Flit buffer depth of each input virtual channel.  The paper quotes
+        a 20-flit input buffer per physical channel, i.e. 5 flits per
+        virtual channel with 4 VCs, which is the default here.
+    pipeline:
+        PROUD (5-stage) or LA-PROUD (4-stage) timing, see
+        :mod:`repro.router.pipeline`.
+    link_delay:
+        Cycles to traverse a link between two routers (1 in the paper).
+    credit_delay:
+        Cycles for a credit to travel back to the upstream router.
+    """
+
+    vcs_per_port: int = 4
+    buffer_depth: int = 5
+    pipeline: PipelineTiming = field(default_factory=lambda: PROUD)
+    link_delay: int = 1
+    credit_delay: int = 1
+
+    def __post_init__(self) -> None:
+        if self.vcs_per_port < 1:
+            raise ValueError("at least one virtual channel per port is required")
+        if self.buffer_depth < 1:
+            raise ValueError("virtual-channel buffers need at least one flit slot")
+        if self.link_delay < 1:
+            raise ValueError("links need at least one cycle of delay")
+        if self.credit_delay < 1:
+            raise ValueError("credit return needs at least one cycle of delay")
+
+    def with_pipeline(self, pipeline: PipelineTiming) -> "RouterConfig":
+        """A copy of this configuration with a different pipeline."""
+        return RouterConfig(
+            vcs_per_port=self.vcs_per_port,
+            buffer_depth=self.buffer_depth,
+            pipeline=pipeline,
+            link_delay=self.link_delay,
+            credit_delay=self.credit_delay,
+        )

@@ -1,0 +1,43 @@
+"""Routing algorithms and routing-relation providers.
+
+Two closely related concepts live here:
+
+* **Port providers** (:mod:`repro.routing.providers`): plain functions
+  mapping ``(current_node, destination)`` to the set of output ports a
+  routing relation permits.  They are what routing tables are programmed
+  with (full-table, meta-table and economical-storage tables all store the
+  image of a provider in different encodings).
+* **Routing algorithms** (:class:`~repro.routing.base.RoutingAlgorithm`):
+  the run-time decision logic used by a router.  An algorithm combines a
+  routing table (giving the adaptive candidate ports) with a
+  virtual-channel discipline that guarantees deadlock freedom; Duato's
+  fully adaptive algorithm, used throughout the paper, reserves one escape
+  virtual channel per physical channel that always follows dimension-order
+  routing.
+"""
+
+from repro.routing.base import RouteDecision, RoutingAlgorithm, VirtualChannelClasses
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.routing.duato import DuatoFullyAdaptiveRouting
+from repro.routing.providers import (
+    dimension_order_provider,
+    minimal_adaptive_provider,
+    negative_first_provider,
+    north_last_provider,
+    west_first_provider,
+)
+from repro.routing.turn_model import TurnModelRouting
+
+__all__ = [
+    "DimensionOrderRouting",
+    "DuatoFullyAdaptiveRouting",
+    "RouteDecision",
+    "RoutingAlgorithm",
+    "TurnModelRouting",
+    "VirtualChannelClasses",
+    "dimension_order_provider",
+    "minimal_adaptive_provider",
+    "negative_first_provider",
+    "north_last_provider",
+    "west_first_provider",
+]

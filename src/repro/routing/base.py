@@ -1,0 +1,96 @@
+"""Routing-algorithm interface used by the router's decision block.
+
+A routing algorithm answers two questions for the router:
+
+1. How are the virtual channels of every physical channel partitioned into
+   *adaptive* channels and *escape* channels (:class:`VirtualChannelClasses`)?
+   Duato's theory of deadlock-free adaptive routing requires the escape
+   channels to implement a deadlock-free (here: dimension-order) subfunction
+   while the adaptive channels may follow any minimal relation.
+2. Which output ports may a header take at the current router toward its
+   destination (:class:`RouteDecision`)?  The adaptive ports typically come
+   from a routing-table lookup, while the escape port is the dimension-order
+   port.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["RouteDecision", "RoutingAlgorithm", "VirtualChannelClasses"]
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Output-port choices for one (current node, destination) pair.
+
+    ``adaptive_ports`` are the ports a message may take on an *adaptive*
+    virtual channel; ``escape_port`` is the single port usable on an
+    *escape* virtual channel.  For deterministic algorithms the two
+    coincide.
+    """
+
+    adaptive_ports: Tuple[int, ...]
+    escape_port: int
+
+    @property
+    def all_ports(self) -> Tuple[int, ...]:
+        """Every distinct port mentioned by this decision."""
+        if self.escape_port in self.adaptive_ports:
+            return self.adaptive_ports
+        return self.adaptive_ports + (self.escape_port,)
+
+
+@dataclass(frozen=True)
+class VirtualChannelClasses:
+    """Partition of a physical channel's virtual channels into classes."""
+
+    adaptive_vcs: Tuple[int, ...]
+    escape_vcs: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        overlap = set(self.adaptive_vcs) & set(self.escape_vcs)
+        if overlap:
+            raise ValueError(f"virtual channels {sorted(overlap)} assigned to two classes")
+
+    @property
+    def total(self) -> int:
+        """Total number of virtual channels described by this partition."""
+        return len(self.adaptive_vcs) + len(self.escape_vcs)
+
+
+class RoutingAlgorithm(ABC):
+    """Run-time routing decision logic for a single network."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "routing"
+
+    @property
+    @abstractmethod
+    def min_virtual_channels(self) -> int:
+        """Minimum number of virtual channels per physical channel required
+        for deadlock freedom."""
+
+    @abstractmethod
+    def vc_classes(self, vcs_per_port: int) -> VirtualChannelClasses:
+        """Partition ``vcs_per_port`` virtual channels into adaptive/escape
+        classes."""
+
+    @abstractmethod
+    def decide(self, current: int, destination: int) -> RouteDecision:
+        """Output-port choices for a header at ``current`` heading to
+        ``destination``."""
+
+    def validate(self, vcs_per_port: int) -> None:
+        """Raise ``ValueError`` if the router configuration cannot support
+        this algorithm."""
+        if vcs_per_port < self.min_virtual_channels:
+            raise ValueError(
+                f"{self.name} requires at least {self.min_virtual_channels} "
+                f"virtual channels per physical channel, got {vcs_per_port}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

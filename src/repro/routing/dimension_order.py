@@ -1,0 +1,55 @@
+"""Deterministic dimension-order (XY) routing.
+
+The oblivious baseline of the paper's Figure 5: a message fully corrects
+its offset in dimension 0 (X) before moving in dimension 1 (Y), and so on.
+Dimension-order routing is deadlock free on a mesh with a single virtual
+channel, so every virtual channel may carry it.
+"""
+
+from __future__ import annotations
+
+from repro.network.topology import Topology
+from repro.routing.base import RouteDecision, RoutingAlgorithm, VirtualChannelClasses
+
+__all__ = ["DimensionOrderRouting"]
+
+
+class DimensionOrderRouting(RoutingAlgorithm):
+    """Deterministic XY (dimension-order) routing over a mesh or torus.
+
+    Note: on a torus, dimension-order routing needs either two virtual
+    channels per dimension (dateline scheme) or bubble flow control for
+    deadlock freedom across the wraparound links; this class implements the
+    dateline-free mesh discipline and therefore refuses torus topologies.
+    """
+
+    name = "dimension-order"
+
+    def __init__(self, topology: Topology) -> None:
+        if topology.wraps:
+            raise ValueError(
+                "DimensionOrderRouting supports meshes only; wraparound links "
+                "need a dateline virtual-channel discipline"
+            )
+        self._topology = topology
+
+    @property
+    def topology(self) -> Topology:
+        """Topology the decisions are computed on."""
+        return self._topology
+
+    @property
+    def min_virtual_channels(self) -> int:
+        return 1
+
+    def vc_classes(self, vcs_per_port: int) -> VirtualChannelClasses:
+        self.validate(vcs_per_port)
+        # Every virtual channel follows the same deterministic relation, so
+        # they are all "adaptive class" channels with no reserved escapes.
+        return VirtualChannelClasses(
+            adaptive_vcs=tuple(range(vcs_per_port)), escape_vcs=()
+        )
+
+    def decide(self, current: int, destination: int) -> RouteDecision:
+        port = self._topology.dimension_order_port(current, destination)
+        return RouteDecision(adaptive_ports=(port,), escape_port=port)

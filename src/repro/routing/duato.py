@@ -1,0 +1,100 @@
+"""Duato's fully adaptive routing (the algorithm used throughout the paper).
+
+Duato's methodology [Duato, IEEE TPDS 1993] splits the virtual channels of
+every physical channel into two classes:
+
+* **escape channels** implementing a deadlock-free routing subfunction --
+  here deterministic dimension-order (XY) routing on the mesh; and
+* **adaptive channels** on which a message may follow *any* minimal
+  productive port.
+
+A message always has the escape channel of its dimension-order port as a
+fallback, so no cyclic dependency can stall the network even though the
+adaptive channels are unrestricted.  Only one extra virtual channel is
+needed, which is why the paper picks this algorithm for a cost-effective
+adaptive router.
+
+The adaptive candidate ports are obtained from a routing *table*
+(full-table, meta-table or economical-storage); restricting the table
+restricts adaptivity, which is exactly the effect studied in Section 5 of
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.network.topology import Topology
+from repro.routing.base import RouteDecision, RoutingAlgorithm, VirtualChannelClasses
+
+if TYPE_CHECKING:  # pragma: no cover - import used for type checking only
+    from repro.tables.base import RoutingTable
+
+__all__ = ["DuatoFullyAdaptiveRouting"]
+
+
+class DuatoFullyAdaptiveRouting(RoutingAlgorithm):
+    """Fully adaptive minimal routing with dimension-order escape channels.
+
+    Parameters
+    ----------
+    topology:
+        The network the algorithm routes on (meshes only; the escape
+        subfunction is dimension-order routing without datelines).
+    table:
+        Routing table consulted for the adaptive candidate ports.
+    num_escape_vcs:
+        Number of virtual channels per physical channel reserved as escape
+        channels (default 1, the minimum; the paper's routers have 4 VCs so
+        3 remain fully adaptive).
+    """
+
+    name = "duato-fully-adaptive"
+
+    def __init__(
+        self,
+        topology: Topology,
+        table: "RoutingTable",
+        num_escape_vcs: int = 1,
+    ) -> None:
+        if topology.wraps:
+            raise ValueError(
+                "the dimension-order escape subfunction used here is only "
+                "deadlock free on meshes, not tori"
+            )
+        if num_escape_vcs < 1:
+            raise ValueError("at least one escape virtual channel is required")
+        self._topology = topology
+        self._table = table
+        self._num_escape_vcs = num_escape_vcs
+
+    @property
+    def topology(self) -> Topology:
+        """Topology the decisions are computed on."""
+        return self._topology
+
+    @property
+    def table(self) -> "RoutingTable":
+        """Routing table supplying the adaptive candidate ports."""
+        return self._table
+
+    @property
+    def num_escape_vcs(self) -> int:
+        """Escape virtual channels reserved per physical channel."""
+        return self._num_escape_vcs
+
+    @property
+    def min_virtual_channels(self) -> int:
+        # One escape channel plus at least one adaptive channel.
+        return self._num_escape_vcs + 1
+
+    def vc_classes(self, vcs_per_port: int) -> VirtualChannelClasses:
+        self.validate(vcs_per_port)
+        escape = tuple(range(self._num_escape_vcs))
+        adaptive = tuple(range(self._num_escape_vcs, vcs_per_port))
+        return VirtualChannelClasses(adaptive_vcs=adaptive, escape_vcs=escape)
+
+    def decide(self, current: int, destination: int) -> RouteDecision:
+        adaptive_ports = self._table.lookup(current, destination)
+        escape_port = self._topology.dimension_order_port(current, destination)
+        return RouteDecision(adaptive_ports=adaptive_ports, escape_port=escape_port)

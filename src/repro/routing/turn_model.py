@@ -1,0 +1,98 @@
+"""Turn-model partially adaptive routing algorithms.
+
+The turn model [Glass & Ni, ISCA 1992] obtains deadlock freedom on a mesh
+without extra virtual channels by prohibiting a quarter of the possible
+turns.  The paper uses North-Last routing in its Figure 7 example of how
+an economical-storage routing table is programmed; West-First and
+Negative-First are provided for completeness and for the turn-model
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.network.topology import Topology
+from repro.routing.base import RouteDecision, RoutingAlgorithm, VirtualChannelClasses
+from repro.routing.providers import (
+    PortProvider,
+    negative_first_provider,
+    north_last_provider,
+    west_first_provider,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import used for type checking only
+    from repro.tables.base import RoutingTable
+
+__all__ = ["TurnModelRouting"]
+
+_PROVIDERS = {
+    "north-last": north_last_provider,
+    "west-first": west_first_provider,
+    "negative-first": negative_first_provider,
+}
+
+
+class TurnModelRouting(RoutingAlgorithm):
+    """Partially adaptive routing derived from a turn-model restriction.
+
+    Parameters
+    ----------
+    topology:
+        Mesh topology the algorithm routes on.
+    model:
+        One of ``"north-last"``, ``"west-first"`` or ``"negative-first"``.
+    table:
+        Optional routing table to consult instead of computing the turn
+        restriction on the fly.  When given, the table must have been
+        programmed with the matching provider (this is how the Fig. 7
+        economical-storage example is exercised end to end).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        model: str = "north-last",
+        table: Optional["RoutingTable"] = None,
+    ) -> None:
+        if model not in _PROVIDERS:
+            raise ValueError(
+                f"unknown turn model {model!r}; expected one of {sorted(_PROVIDERS)}"
+            )
+        if topology.wraps:
+            raise ValueError("turn-model routing is only deadlock free on meshes")
+        self._topology = topology
+        self._model = model
+        self._provider: PortProvider = _PROVIDERS[model](topology)
+        self._table = table
+        self.name = f"turn-model-{model}"
+
+    @property
+    def topology(self) -> Topology:
+        """Topology the decisions are computed on."""
+        return self._topology
+
+    @property
+    def model(self) -> str:
+        """Which turn model this instance implements."""
+        return self._model
+
+    @property
+    def min_virtual_channels(self) -> int:
+        # Turn-model routing is deadlock free with a single channel.
+        return 1
+
+    def vc_classes(self, vcs_per_port: int) -> VirtualChannelClasses:
+        self.validate(vcs_per_port)
+        return VirtualChannelClasses(
+            adaptive_vcs=tuple(range(vcs_per_port)), escape_vcs=()
+        )
+
+    def decide(self, current: int, destination: int) -> RouteDecision:
+        if self._table is not None:
+            ports = self._table.lookup(current, destination)
+        else:
+            ports = self._provider(current, destination)
+        # Any permitted port may serve as the deterministic fallback; using
+        # the first (lowest-dimension) port keeps the decision stable.
+        return RouteDecision(adaptive_ports=ports, escape_port=ports[0])

@@ -1,0 +1,169 @@
+"""Concrete path-selection heuristics.
+
+Static policies
+---------------
+* :class:`StaticDimensionOrderSelector` (STATIC-XY) -- prefer the lowest
+  dimension (X before Y), the policy of [Duato et al. 1997] used as the
+  baseline in the paper.
+* :class:`RandomSelector` -- uniform random choice (Chaos-router style).
+* :class:`FirstFreeSelector` -- first candidate with a free virtual
+  channel (Servernet-II style).
+
+Traffic-sensitive policies
+--------------------------
+* :class:`MinMuxSelector` (MIN-MUX) -- fewest currently multiplexed
+  virtual channels on the physical channel [Duato 1993].
+* :class:`LeastFrequentlyUsedSelector` (LFU) -- lowest cumulative usage
+  count (proposed by the paper).
+* :class:`LeastRecentlyUsedSelector` (LRU) -- least recently used port
+  (proposed by the paper).
+* :class:`MaxCreditSelector` (MAX-CREDIT) -- most flow-control credits,
+  i.e. most free buffer space downstream (proposed by the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.selection.base import OutputPortStatus, PathSelector
+
+__all__ = [
+    "FirstFreeSelector",
+    "LeastFrequentlyUsedSelector",
+    "LeastRecentlyUsedSelector",
+    "MaxCreditSelector",
+    "MinMuxSelector",
+    "RandomSelector",
+    "SELECTOR_NAMES",
+    "StaticDimensionOrderSelector",
+    "make_selector",
+]
+
+
+class StaticDimensionOrderSelector(PathSelector):
+    """STATIC-XY: always prefer the lowest dimension (X first)."""
+
+    name = "static-xy"
+
+    def select(self, candidates: Sequence[OutputPortStatus]) -> int:
+        return min(candidates, key=self._static_order).port
+
+
+class RandomSelector(PathSelector):
+    """Uniform random selection among the candidates."""
+
+    name = "random"
+
+    def select(self, candidates: Sequence[OutputPortStatus]) -> int:
+        return self._rng.choice(list(candidates)).port
+
+
+class FirstFreeSelector(PathSelector):
+    """First candidate offered (candidates are already known to be free)."""
+
+    name = "first-free"
+
+    def select(self, candidates: Sequence[OutputPortStatus]) -> int:
+        return candidates[0].port
+
+
+class MinMuxSelector(PathSelector):
+    """MIN-MUX: pick the physical channel with the fewest busy virtual channels."""
+
+    name = "min-mux"
+
+    def select(self, candidates: Sequence[OutputPortStatus]) -> int:
+        return min(
+            candidates, key=lambda s: (s.busy_vcs,) + self._static_order(s)
+        ).port
+
+
+class LeastFrequentlyUsedSelector(PathSelector):
+    """LFU: pick the port with the lowest cumulative usage count.
+
+    The usage counters are maintained by the selector itself from the
+    router's ``record_use`` notifications, mirroring the per-output-port
+    hardware counters the paper describes.
+    """
+
+    name = "lfu"
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        super().__init__(rng)
+        self._usage: Dict[int, int] = defaultdict(int)
+
+    def record_use(self, port: int, cycle: int) -> None:
+        self._usage[port] += 1
+
+    def select(self, candidates: Sequence[OutputPortStatus]) -> int:
+        return min(
+            candidates,
+            key=lambda s: (self._usage[s.port],) + self._static_order(s),
+        ).port
+
+
+class LeastRecentlyUsedSelector(PathSelector):
+    """LRU: pick the port that was used farthest in the past."""
+
+    name = "lru"
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        super().__init__(rng)
+        self._last_used: Dict[int, int] = defaultdict(lambda: -1)
+
+    def record_use(self, port: int, cycle: int) -> None:
+        self._last_used[port] = cycle
+
+    def select(self, candidates: Sequence[OutputPortStatus]) -> int:
+        return min(
+            candidates,
+            key=lambda s: (self._last_used[s.port],) + self._static_order(s),
+        ).port
+
+
+class MaxCreditSelector(PathSelector):
+    """MAX-CREDIT: pick the port with the most flow-control credits.
+
+    A large credit count means plenty of free buffer space at the
+    downstream router, which indicates low congestion on that path.
+    """
+
+    name = "max-credit"
+
+    def select(self, candidates: Sequence[OutputPortStatus]) -> int:
+        return min(
+            candidates,
+            key=lambda s: (-s.total_credits,) + self._static_order(s),
+        ).port
+
+
+#: Factories for every selector, keyed by report name.
+_SELECTOR_FACTORIES: Dict[str, Callable[[Optional[random.Random]], PathSelector]] = {
+    StaticDimensionOrderSelector.name: StaticDimensionOrderSelector,
+    RandomSelector.name: RandomSelector,
+    FirstFreeSelector.name: FirstFreeSelector,
+    MinMuxSelector.name: MinMuxSelector,
+    LeastFrequentlyUsedSelector.name: LeastFrequentlyUsedSelector,
+    LeastRecentlyUsedSelector.name: LeastRecentlyUsedSelector,
+    MaxCreditSelector.name: MaxCreditSelector,
+}
+
+#: The selector names accepted by :func:`make_selector`.
+SELECTOR_NAMES = tuple(sorted(_SELECTOR_FACTORIES))
+
+
+def make_selector(name: str, rng: Optional[random.Random] = None) -> PathSelector:
+    """Instantiate a path selector by its report name.
+
+    Every router gets its own instance because the history-based
+    heuristics carry per-router state.
+    """
+    try:
+        factory = _SELECTOR_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown path-selection heuristic {name!r}; expected one of {SELECTOR_NAMES}"
+        ) from None
+    return factory(rng)

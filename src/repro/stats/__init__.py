@@ -1,0 +1,25 @@
+"""Measurement infrastructure: latency statistics, warm-up and saturation.
+
+The paper reports average network latency versus normalized load, with
+statistics collected after a warm-up period and runs terminated at network
+saturation.  This subpackage provides:
+
+* :class:`~repro.stats.collector.StatsCollector` -- per-message accounting
+  with warm-up exclusion;
+* :class:`~repro.stats.latency.LatencySummary` -- aggregated latency and
+  throughput figures;
+* :mod:`repro.stats.saturation` -- the saturation-detection policy used to
+  print "Sat." rows like the paper's Table 4.
+"""
+
+from repro.stats.collector import StatsCollector
+from repro.stats.latency import LatencySummary, RunningStats
+from repro.stats.saturation import SaturationPolicy, is_saturated
+
+__all__ = [
+    "LatencySummary",
+    "RunningStats",
+    "SaturationPolicy",
+    "StatsCollector",
+    "is_saturated",
+]

@@ -1,0 +1,144 @@
+"""Per-message statistics collection with warm-up handling.
+
+Messages are numbered in creation order across the whole network.  The
+first ``warmup_messages`` of them are excluded from the reported
+statistics, matching the paper's methodology (10,000 warm-up injections
+before the 400,000 measured ones).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.stats.latency import LatencySummary, RunningStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import avoids a package cycle
+    from repro.traffic.message import Message
+
+__all__ = ["StatsCollector"]
+
+
+class StatsCollector:
+    """Accumulates message-level statistics for one simulation run."""
+
+    def __init__(
+        self,
+        warmup_messages: int = 0,
+        measure_messages: Optional[int] = None,
+        num_nodes: int = 1,
+        keep_samples: bool = False,
+    ) -> None:
+        if warmup_messages < 0:
+            raise ValueError("warm-up message count cannot be negative")
+        self._warmup = warmup_messages
+        self._measure_target = measure_messages
+        self._num_nodes = max(1, num_nodes)
+        self._created = 0
+        self._delivered = 0
+        self._injected = 0
+        self._measured_delivered = 0
+        self._measured_flits = 0
+        self._order: Dict[int, int] = {}
+        self._total_latency = RunningStats(keep_samples=keep_samples)
+        self._network_latency = RunningStats(keep_samples=keep_samples)
+        self._hops = RunningStats()
+        self._first_measured_delivery: Optional[int] = None
+        self._last_delivery_cycle = 0
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_created(self, message: "Message") -> None:
+        """Register a newly generated message (assigns its creation index)."""
+        self._order[message.message_id] = self._created
+        self._created += 1
+
+    def record_injected(self, message: "Message", cycle: int) -> None:
+        """Register the injection of a message's header flit."""
+        self._injected += 1
+
+    def record_delivered(self, message: "Message", cycle: int) -> None:
+        """Register delivery of a message's tail flit and accumulate latency."""
+        self._delivered += 1
+        self._last_delivery_cycle = cycle
+        index = self._order.get(message.message_id)
+        if index is None or index < self._warmup:
+            return
+        if (
+            self._measure_target is not None
+            and index >= self._warmup + self._measure_target
+        ):
+            return
+        self._measured_delivered += 1
+        self._measured_flits += message.length
+        self._total_latency.add(message.total_latency)
+        self._network_latency.add(message.network_latency)
+        self._hops.add(message.hops)
+        if self._first_measured_delivery is None:
+            self._first_measured_delivery = cycle
+
+    # -- progress queries -----------------------------------------------------------
+
+    @property
+    def created(self) -> int:
+        """Messages generated so far."""
+        return self._created
+
+    @property
+    def delivered(self) -> int:
+        """Messages delivered so far (including warm-up)."""
+        return self._delivered
+
+    @property
+    def measured_delivered(self) -> int:
+        """Measured (post-warm-up) messages delivered so far."""
+        return self._measured_delivered
+
+    @property
+    def warmup_messages(self) -> int:
+        """Number of leading messages excluded from statistics."""
+        return self._warmup
+
+    @property
+    def measure_target(self) -> Optional[int]:
+        """Number of measured messages the run intends to deliver."""
+        return self._measure_target
+
+    def all_measured_delivered(self) -> bool:
+        """True once every intended measured message has been delivered."""
+        if self._measure_target is None:
+            return False
+        return self._measured_delivered >= self._measure_target
+
+    # -- summary ----------------------------------------------------------------------
+
+    def summary(self, cycles: int, saturated: bool = False) -> LatencySummary:
+        """Aggregate the collected statistics over ``cycles`` simulated cycles."""
+        if self._measure_target:
+            completion = self._measured_delivered / self._measure_target
+        else:
+            completion = 1.0 if self._created == 0 else self._delivered / self._created
+        if self._first_measured_delivery is not None and cycles > 0:
+            window = max(1, self._last_delivery_cycle - self._first_measured_delivery + 1)
+            throughput = self._measured_flits / (window * self._num_nodes)
+        else:
+            throughput = 0.0
+        return LatencySummary(
+            created=self._created,
+            delivered=self._delivered,
+            measured=self._measured_delivered,
+            avg_total_latency=self._total_latency.mean,
+            avg_network_latency=self._network_latency.mean,
+            std_total_latency=self._total_latency.std,
+            max_total_latency=self._total_latency.maximum,
+            avg_hops=self._hops.mean,
+            throughput=throughput,
+            cycles=cycles,
+            completion_ratio=completion,
+            saturated=saturated,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StatsCollector(created={self._created}, delivered={self._delivered}, "
+            f"measured={self._measured_delivered})"
+        )

@@ -1,0 +1,137 @@
+"""Latency aggregation primitives."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["LatencySummary", "RunningStats"]
+
+
+class RunningStats:
+    """Streaming mean/variance/min/max accumulator (Welford's algorithm).
+
+    Keeping only the running moments lets the collector absorb hundreds of
+    thousands of samples (the paper measures 400,000 messages) without
+    storing them, while optional sample retention supports percentiles in
+    smaller runs.
+    """
+
+    __slots__ = ("_count", "_mean", "_m2", "_min", "_max", "_samples")
+
+    def __init__(self, keep_samples: bool = False) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._samples: Optional[List[float]] = [] if keep_samples else None
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if self._samples is not None:
+            self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        return self._m2 / (self._count - 1) if self._count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample (0.0 when empty)."""
+        return self._min if self._count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample (0.0 when empty)."""
+        return self._max if self._count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Sample percentile; requires ``keep_samples=True``."""
+        if self._samples is None:
+            raise ValueError("percentiles need keep_samples=True")
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("percentile fraction must be within [0, 1]")
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    def __repr__(self) -> str:
+        return f"RunningStats(count={self._count}, mean={self.mean:.2f})"
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregate results of one simulation run.
+
+    Latencies are in cycles; throughput is in flits per node per cycle.
+    """
+
+    #: Messages generated (all, including warm-up).
+    created: int
+    #: Messages delivered (all, including warm-up).
+    delivered: int
+    #: Measured (post-warm-up) messages delivered.
+    measured: int
+    #: Mean creation-to-ejection latency of measured messages.
+    avg_total_latency: float
+    #: Mean injection-to-ejection latency of measured messages.
+    avg_network_latency: float
+    #: Standard deviation of the total latency.
+    std_total_latency: float
+    #: Largest observed total latency.
+    max_total_latency: float
+    #: Mean hop count of measured messages.
+    avg_hops: float
+    #: Delivered measured flits per node per cycle over the measurement window.
+    throughput: float
+    #: Cycles simulated.
+    cycles: int
+    #: Fraction of measured messages delivered before the run ended.
+    completion_ratio: float
+    #: Whether the run was flagged as saturated.
+    saturated: bool = False
+
+    def as_dict(self) -> dict:
+        """Dictionary form for report printers and JSON dumps."""
+        return {
+            "created": self.created,
+            "delivered": self.delivered,
+            "measured": self.measured,
+            "avg_total_latency": self.avg_total_latency,
+            "avg_network_latency": self.avg_network_latency,
+            "std_total_latency": self.std_total_latency,
+            "max_total_latency": self.max_total_latency,
+            "avg_hops": self.avg_hops,
+            "throughput": self.throughput,
+            "cycles": self.cycles,
+            "completion_ratio": self.completion_ratio,
+            "saturated": self.saturated,
+        }

@@ -1,0 +1,63 @@
+"""Saturation detection.
+
+Like the paper ("Results are only presented for loads leading up to
+network saturation"; Table 4 prints "Sat." for saturated points), a run is
+declared saturated when the network cannot deliver the offered traffic:
+either a substantial fraction of the measured messages never arrived
+within the cycle budget, or the average latency exploded relative to the
+contention-free base latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stats.latency import LatencySummary
+
+__all__ = ["SaturationPolicy", "is_saturated"]
+
+
+@dataclass(frozen=True)
+class SaturationPolicy:
+    """Thresholds used to flag a run as saturated.
+
+    Attributes
+    ----------
+    min_completion_ratio:
+        A run delivering less than this fraction of its measured messages
+        within the cycle budget is saturated.
+    latency_multiplier:
+        A run whose average total latency exceeds
+        ``latency_multiplier x zero_load_latency`` is saturated.
+    """
+
+    min_completion_ratio: float = 0.95
+    latency_multiplier: float = 12.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_completion_ratio <= 1.0:
+            raise ValueError("completion ratio threshold must be in (0, 1]")
+        if self.latency_multiplier <= 1.0:
+            raise ValueError("latency multiplier must exceed 1")
+
+
+def is_saturated(
+    summary: LatencySummary,
+    zero_load_latency: float,
+    policy: SaturationPolicy = SaturationPolicy(),
+) -> bool:
+    """Apply ``policy`` to one run summary.
+
+    ``zero_load_latency`` is the analytic contention-free latency of an
+    average message (hop latency times average distance plus
+    serialization), used to scale the latency threshold.
+    """
+    if summary.measured == 0:
+        return True
+    if summary.completion_ratio < policy.min_completion_ratio:
+        return True
+    if zero_load_latency > 0 and summary.avg_total_latency > (
+        policy.latency_multiplier * zero_load_latency
+    ):
+        return True
+    return False

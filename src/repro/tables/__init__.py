@@ -1,0 +1,59 @@
+"""Routing-table implementations (Section 5 of the paper).
+
+Adaptive table-based routing needs multiple candidate output ports per
+destination, which inflates the routing-table RAM.  The paper compares
+three storage organisations, all of which are implemented here:
+
+* :class:`~repro.tables.full_table.FullRoutingTable` -- one entry per
+  destination node (the Cray T3D/T3E / Sun S3.mp organisation).
+* :class:`~repro.tables.meta_table.MetaRoutingTable` -- a two-level
+  hierarchical (cluster / sub-cluster) organisation (SGI SPIDER,
+  Servernet-II), with the two cluster mappings of the paper's Fig. 8.
+* :class:`~repro.tables.economical.EconomicalStorageTable` -- the paper's
+  proposal: a 3^n-entry table indexed by the sign of the per-dimension
+  offset to the destination (9 entries for 2-D, 27 for 3-D meshes).
+
+:class:`~repro.tables.interval.IntervalRoutingTable` (Transputer C-104
+style) is included as the deterministic low-storage alternative discussed
+in Section 5.1.2, and :mod:`repro.tables.cost_model` reproduces the
+storage/scalability comparison of Table 5.
+"""
+
+from repro.tables.base import RoutingTable, TableProgrammingError
+from repro.tables.cost_model import TableCostModel, TableCostSummary, table_cost_summary
+from repro.tables.economical import EconomicalStorageTable
+from repro.tables.full_table import FullRoutingTable
+from repro.tables.interval import IntervalRoutingTable
+from repro.tables.mappings import (
+    BlockClusterMapping,
+    ClusterMapping,
+    RowClusterMapping,
+)
+from repro.tables.meta_table import MetaRoutingTable
+from repro.tables.validation import (
+    channel_dependency_graph,
+    check_connectivity,
+    check_minimality,
+    escape_subfunction_is_deadlock_free,
+    is_deadlock_free,
+)
+
+__all__ = [
+    "BlockClusterMapping",
+    "ClusterMapping",
+    "EconomicalStorageTable",
+    "FullRoutingTable",
+    "IntervalRoutingTable",
+    "MetaRoutingTable",
+    "RoutingTable",
+    "RowClusterMapping",
+    "TableCostModel",
+    "TableCostSummary",
+    "TableProgrammingError",
+    "channel_dependency_graph",
+    "check_connectivity",
+    "check_minimality",
+    "escape_subfunction_is_deadlock_free",
+    "is_deadlock_free",
+    "table_cost_summary",
+]

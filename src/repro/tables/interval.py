@@ -1,0 +1,141 @@
+"""Interval (universal) routing tables (Section 5.1.2 of the paper).
+
+Interval routing [van Leeuwen & Tan 1987] relabels the nodes so that each
+output port of a router serves one contiguous interval of labels; the
+router then needs only as many table entries as it has ports, independent
+of the network size.  The Transputer C-104 switch uses this scheme.
+
+We implement the classic universal construction: labels are assigned by a
+depth-first traversal of a spanning tree, each tree edge toward a child
+serves the interval covering that child's subtree, and the remaining
+(cyclic) interval is served by the edge toward the parent.  Routing is
+therefore confined to the spanning tree, which demonstrates the
+limitations the paper lists -- paths are generally non-minimal and the
+scheme is not readily adaptive -- while staying deadlock free (tree
+routing admits no cyclic channel dependence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.topology import LOCAL_PORT, Topology
+from repro.tables.base import RoutingTable, TableProgrammingError
+
+__all__ = ["IntervalRoutingTable"]
+
+
+class IntervalRoutingTable(RoutingTable):
+    """A spanning-tree interval-labelling routing table.
+
+    Parameters
+    ----------
+    topology:
+        Network to label.  Any connected topology is accepted (interval
+        routing is "universal").
+    root:
+        Node at which the depth-first labelling starts.
+    """
+
+    name = "interval"
+
+    def __init__(self, topology: Topology, root: int = 0) -> None:
+        if not 0 <= root < topology.num_nodes:
+            raise ValueError(f"root {root} is not a node of {topology!r}")
+        self._topology = topology
+        self._root = root
+        self._label: List[int] = [0] * topology.num_nodes
+        self._subtree_size: List[int] = [0] * topology.num_nodes
+        self._parent_port: List[Optional[int]] = [None] * topology.num_nodes
+        #: per node: list of (low, high, port) half-open label intervals.
+        self._intervals: List[List[Tuple[int, int, int]]] = [
+            [] for _ in range(topology.num_nodes)
+        ]
+        self._build()
+
+    def _build(self) -> None:
+        """Assign DFS preorder labels and derive the per-port intervals."""
+        topology = self._topology
+        visited = [False] * topology.num_nodes
+        next_label = 0
+        # Iterative DFS recording (node, parent, parent_port) to avoid
+        # recursion limits on large networks.
+        order: List[int] = []
+        children: Dict[int, List[Tuple[int, int]]] = {
+            node: [] for node in range(topology.num_nodes)
+        }
+        stack: List[Tuple[int, Optional[int], Optional[int]]] = [(self._root, None, None)]
+        while stack:
+            node, parent, parent_port = stack.pop()
+            if visited[node]:
+                continue
+            visited[node] = True
+            self._label[node] = next_label
+            next_label += 1
+            order.append(node)
+            if parent is not None:
+                children[parent].append((parent_port, node))
+                self._parent_port[node] = topology.reverse_port(parent_port)
+            # Push neighbors in reverse port order so lower ports are
+            # explored first (purely for deterministic labellings).
+            for port in range(topology.radix - 1, 0, -1):
+                neighbor = topology.neighbor(node, port)
+                if neighbor is not None and not visited[neighbor]:
+                    stack.append((neighbor, node, port))
+        if next_label != topology.num_nodes:
+            raise TableProgrammingError("topology is not connected; cannot label")
+        # Subtree sizes via reverse DFS order.
+        for node in reversed(order):
+            self._subtree_size[node] = 1 + sum(
+                self._subtree_size[child] for _, child in children[node]
+            )
+        # Intervals: each child edge serves the child's subtree label range;
+        # everything else goes toward the parent (or is local at the root).
+        total = topology.num_nodes
+        for node in range(total):
+            own = self._label[node]
+            self._intervals[node].append((own, own + 1, LOCAL_PORT))
+            for port, child in children[node]:
+                low = self._label[child]
+                high = low + self._subtree_size[child]
+                self._intervals[node].append((low, high, port))
+            if self._parent_port[node] is not None:
+                # The complement of [own, own + subtree) modulo N, expressed
+                # as at most two plain intervals.
+                low = own
+                high = own + self._subtree_size[node]
+                if low > 0:
+                    self._intervals[node].append((0, low, self._parent_port[node]))
+                if high < total:
+                    self._intervals[node].append((high, total, self._parent_port[node]))
+
+    # -- RoutingTable interface ---------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        """Topology this table was programmed for."""
+        return self._topology
+
+    def label_of(self, node: int) -> int:
+        """Interval-routing label assigned to ``node``."""
+        return self._label[node]
+
+    def lookup(self, current: int, destination: int) -> Tuple[int, ...]:
+        target = self._label[destination]
+        for low, high, port in self._intervals[current]:
+            if low <= target < high:
+                return (port,)
+        raise AssertionError(
+            f"label {target} not covered at node {current}; intervals are inconsistent"
+        )
+
+    def entries_per_router(self) -> int:
+        # One interval per router port, the defining property of the scheme.
+        return self._topology.radix
+
+    def num_routers(self) -> int:
+        return self._topology.num_nodes
+
+    def intervals(self, node: int) -> List[Tuple[int, int, int]]:
+        """The (low, high, port) interval list of one router."""
+        return list(self._intervals[node])

@@ -1,0 +1,189 @@
+"""Cluster mappings for hierarchical (meta-table) routing.
+
+Meta-table routing partitions the nodes of the network into clusters; the
+router keeps a full intra-cluster table plus a single entry per remote
+cluster.  How the node-id space is carved into clusters determines how
+much routing flexibility survives the compression.  The paper's Fig. 8
+compares two mappings for a 256-node mesh:
+
+* a **row mapping** (Fig. 8a) where every cluster is one row of the mesh
+  and the clusters stack into a single column -- the "minimal adaptivity"
+  mapping, which degenerates to deterministic dimension-order routing; and
+* a **block mapping** (Fig. 8b) where every cluster is a square sub-mesh
+  and the clusters themselves form a square grid -- the "maximal
+  adaptivity" mapping.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+from repro.network.topology import Topology
+
+__all__ = ["ClusterMapping", "RowClusterMapping", "BlockClusterMapping"]
+
+
+class ClusterMapping(ABC):
+    """Partition of a topology's nodes into clusters and sub-clusters."""
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+
+    @property
+    def topology(self) -> Topology:
+        """Topology being partitioned."""
+        return self._topology
+
+    @property
+    @abstractmethod
+    def num_clusters(self) -> int:
+        """Number of clusters in the partition."""
+
+    @property
+    @abstractmethod
+    def cluster_size(self) -> int:
+        """Number of nodes in each cluster (all clusters are equal sized)."""
+
+    @abstractmethod
+    def cluster_of(self, node: int) -> int:
+        """Cluster identifier of ``node``."""
+
+    @abstractmethod
+    def subcluster_of(self, node: int) -> int:
+        """Sub-cluster identifier (index of ``node`` within its cluster)."""
+
+    def nodes_in_cluster(self, cluster: int) -> Tuple[int, ...]:
+        """All nodes belonging to ``cluster`` (ordered by sub-cluster id)."""
+        members: List[Tuple[int, int]] = []
+        for node in range(self._topology.num_nodes):
+            if self.cluster_of(node) == cluster:
+                members.append((self.subcluster_of(node), node))
+        members.sort()
+        return tuple(node for _, node in members)
+
+    def node_for(self, cluster: int, subcluster: int) -> int:
+        """Node identified by a (cluster, sub-cluster) pair."""
+        for node in range(self._topology.num_nodes):
+            if self.cluster_of(node) == cluster and self.subcluster_of(node) == subcluster:
+                return node
+        raise ValueError(f"no node has cluster={cluster}, subcluster={subcluster}")
+
+    def validate(self) -> None:
+        """Check the mapping is a proper partition with unique sub-cluster ids."""
+        seen = set()
+        for node in range(self._topology.num_nodes):
+            cluster = self.cluster_of(node)
+            subcluster = self.subcluster_of(node)
+            if not 0 <= cluster < self.num_clusters:
+                raise ValueError(f"node {node} mapped to invalid cluster {cluster}")
+            if not 0 <= subcluster < self.cluster_size:
+                raise ValueError(
+                    f"node {node} mapped to invalid sub-cluster {subcluster}"
+                )
+            key = (cluster, subcluster)
+            if key in seen:
+                raise ValueError(f"duplicate (cluster, subcluster) pair {key}")
+            seen.add(key)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(clusters={self.num_clusters}, "
+            f"cluster_size={self.cluster_size})"
+        )
+
+
+class RowClusterMapping(ClusterMapping):
+    """One cluster per row: the paper's minimal-adaptivity mapping (Fig. 8a).
+
+    All nodes of a cluster share a Y coordinate, so intra-cluster routing
+    has no freedom (a single row) and inter-cluster routing only ever moves
+    along Y; the combination is deterministic dimension-order routing.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        if topology.n_dims != 2:
+            raise ValueError("RowClusterMapping is defined for 2-D topologies")
+        super().__init__(topology)
+
+    @property
+    def num_clusters(self) -> int:
+        return self._topology.dims[1]
+
+    @property
+    def cluster_size(self) -> int:
+        return self._topology.dims[0]
+
+    def cluster_of(self, node: int) -> int:
+        return self._topology.coordinates(node)[1]
+
+    def subcluster_of(self, node: int) -> int:
+        return self._topology.coordinates(node)[0]
+
+
+class BlockClusterMapping(ClusterMapping):
+    """Square-block clusters: the paper's maximal-adaptivity mapping (Fig. 8b).
+
+    Each cluster is a ``block_x`` x ``block_y`` sub-mesh, and the clusters
+    themselves tile the mesh as a grid, so both intra- and inter-cluster
+    routing retain two-dimensional freedom -- until a message reaches a
+    cluster adjacent to its destination cluster, where the single
+    cluster-table entry collapses the choice to one direction (the source
+    of the congestion the paper reports in Table 4).
+    """
+
+    def __init__(self, topology: Topology, block_dims: Sequence[int] = None) -> None:
+        if topology.n_dims != 2:
+            raise ValueError("BlockClusterMapping is defined for 2-D topologies")
+        super().__init__(topology)
+        width, height = topology.dims
+        if block_dims is None:
+            block_dims = (self._default_block(width), self._default_block(height))
+        self._block = (int(block_dims[0]), int(block_dims[1]))
+        if width % self._block[0] or height % self._block[1]:
+            raise ValueError(
+                f"block {self._block} does not tile a {width}x{height} mesh"
+            )
+        self._grid = (width // self._block[0], height // self._block[1])
+
+    @staticmethod
+    def _default_block(extent: int) -> int:
+        """Divisor of ``extent`` closest to its square root (ties go larger).
+
+        For the paper's 16-wide mesh this picks 4, giving the 4x4 blocks of
+        Fig. 8(b).
+        """
+        divisors = [d for d in range(1, extent + 1) if extent % d == 0]
+        target = math.sqrt(extent)
+        return min(divisors, key=lambda d: (abs(d - target), -d))
+
+    @property
+    def block_dims(self) -> Tuple[int, int]:
+        """Extent of each cluster block in (x, y)."""
+        return self._block
+
+    @property
+    def grid_dims(self) -> Tuple[int, int]:
+        """Number of cluster blocks along (x, y)."""
+        return self._grid
+
+    @property
+    def num_clusters(self) -> int:
+        return self._grid[0] * self._grid[1]
+
+    @property
+    def cluster_size(self) -> int:
+        return self._block[0] * self._block[1]
+
+    def cluster_of(self, node: int) -> int:
+        x, y = self._topology.coordinates(node)
+        cluster_x = x // self._block[0]
+        cluster_y = y // self._block[1]
+        return cluster_x + cluster_y * self._grid[0]
+
+    def subcluster_of(self, node: int) -> int:
+        x, y = self._topology.coordinates(node)
+        local_x = x % self._block[0]
+        local_y = y % self._block[1]
+        return local_x + local_y * self._block[0]

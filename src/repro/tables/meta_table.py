@@ -1,0 +1,146 @@
+"""Two-level hierarchical (meta-table) routing (Section 5.1.1 of the paper).
+
+A meta-table router keeps two tables:
+
+* an **intra-cluster table** with one (multi-port) entry per sub-cluster
+  id, consulted when the destination lies in the router's own cluster; and
+* a **cluster table** with one (multi-port) entry per remote cluster,
+  consulted for every destination outside the router's cluster.
+
+Because a single cluster-table entry must serve *every* node of the remote
+cluster, the entry can only name ports that are productive toward all of
+them -- the intersection of the underlying routing relation over the
+cluster's members.  This is where adaptivity is lost: once a message is in
+a cluster that is aligned with its destination cluster in one dimension,
+only a single direction remains and all traffic funnels onto the cluster
+boundary links (the congestion effect the paper reports in Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.topology import LOCAL_PORT, Topology
+from repro.routing.providers import PortProvider, minimal_adaptive_provider
+from repro.tables.base import RoutingTable, TableProgrammingError
+from repro.tables.mappings import ClusterMapping
+
+__all__ = ["MetaRoutingTable"]
+
+
+class MetaRoutingTable(RoutingTable):
+    """Two-level hierarchical routing table.
+
+    Parameters
+    ----------
+    topology:
+        Network the table is programmed for.
+    mapping:
+        Partition of nodes into clusters (see :mod:`repro.tables.mappings`).
+    provider:
+        Routing relation to compress into the hierarchy.  Defaults to
+        minimal fully adaptive routing.
+    """
+
+    name = "meta-table"
+
+    def __init__(
+        self,
+        topology: Topology,
+        mapping: ClusterMapping,
+        provider: Optional[PortProvider] = None,
+    ) -> None:
+        if provider is None:
+            provider = minimal_adaptive_provider(topology)
+        mapping.validate()
+        self._topology = topology
+        self._mapping = mapping
+        # Pre-compute cluster membership once; it is needed per node below.
+        members: Dict[int, Tuple[int, ...]] = {
+            cluster: mapping.nodes_in_cluster(cluster)
+            for cluster in range(mapping.num_clusters)
+        }
+        self._intra: List[Dict[int, Tuple[int, ...]]] = []
+        self._inter: List[Dict[int, Tuple[int, ...]]] = []
+        for node in range(topology.num_nodes):
+            self._intra.append(self._program_intra(node, provider))
+            self._inter.append(self._program_inter(node, provider, members))
+
+    def _program_intra(
+        self, node: int, provider: PortProvider
+    ) -> Dict[int, Tuple[int, ...]]:
+        """Full per-destination entries for the router's own cluster."""
+        table: Dict[int, Tuple[int, ...]] = {}
+        own_cluster = self._mapping.cluster_of(node)
+        for destination in self._mapping.nodes_in_cluster(own_cluster):
+            subcluster = self._mapping.subcluster_of(destination)
+            ports = tuple(provider(node, destination))
+            if not ports:
+                raise TableProgrammingError(
+                    f"provider returned no ports for {node}->{destination}"
+                )
+            table[subcluster] = ports
+        return table
+
+    def _program_inter(
+        self,
+        node: int,
+        provider: PortProvider,
+        members: Dict[int, Tuple[int, ...]],
+    ) -> Dict[int, Tuple[int, ...]]:
+        """One entry per remote cluster: ports productive toward the whole cluster."""
+        table: Dict[int, Tuple[int, ...]] = {}
+        own_cluster = self._mapping.cluster_of(node)
+        for cluster in range(self._mapping.num_clusters):
+            if cluster == own_cluster:
+                continue
+            common: Optional[set] = None
+            for destination in members[cluster]:
+                ports = set(provider(node, destination)) - {LOCAL_PORT}
+                common = ports if common is None else (common & ports)
+            if not common:
+                # Fall back to the ports leading toward the nearest member of
+                # the cluster.  This keeps routing connected for exotic
+                # mappings; the row and block mappings of the paper never
+                # need it.
+                nearest = min(
+                    members[cluster], key=lambda d: self._topology.distance(node, d)
+                )
+                common = set(self._topology.minimal_ports(node, nearest))
+            table[cluster] = tuple(sorted(common))
+        return table
+
+    # -- RoutingTable interface ---------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        """Topology this table was programmed for."""
+        return self._topology
+
+    @property
+    def mapping(self) -> ClusterMapping:
+        """Cluster mapping used by the hierarchy."""
+        return self._mapping
+
+    def lookup(self, current: int, destination: int) -> Tuple[int, ...]:
+        own_cluster = self._mapping.cluster_of(current)
+        destination_cluster = self._mapping.cluster_of(destination)
+        if destination_cluster == own_cluster:
+            return self._intra[current][self._mapping.subcluster_of(destination)]
+        return self._inter[current][destination_cluster]
+
+    def entries_per_router(self) -> int:
+        # One entry per sub-cluster plus one per remote cluster (the entry
+        # for the local cluster is the intra table itself).
+        return self._mapping.cluster_size + (self._mapping.num_clusters - 1)
+
+    def num_routers(self) -> int:
+        return self._topology.num_nodes
+
+    def cluster_entry(self, node: int, cluster: int) -> Tuple[int, ...]:
+        """Direct access to a router's entry for a remote cluster."""
+        return self._inter[node][cluster]
+
+    def intra_entry(self, node: int, subcluster: int) -> Tuple[int, ...]:
+        """Direct access to a router's entry for a sub-cluster of its own cluster."""
+        return self._intra[node][subcluster]

@@ -1,0 +1,188 @@
+"""Routing-relation validation: connectivity, minimality, deadlock freedom.
+
+Table-based routers are only as correct as the tables written into them,
+so the library ships the checks a system programmer would run before
+deploying a table image:
+
+* :func:`check_connectivity` -- every source can reach every destination by
+  repeatedly following the table (no dead ends, no loops);
+* :func:`check_minimality` -- every permitted port lies on a minimal path
+  (the property the economical-storage encoding relies on);
+* :func:`channel_dependency_graph` / :func:`is_deadlock_free` -- the
+  classic channel-dependency-graph test [Dally & Seitz]: a routing relation
+  confined to a single virtual-channel class is deadlock free iff the graph
+  of "holding channel A can wait for channel B" dependencies is acyclic.
+  Duato's methodology only requires this of the *escape* subfunction
+  (dimension-order routing here), which is what
+  :func:`escape_subfunction_is_deadlock_free` checks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Tuple
+
+import networkx as nx
+
+from repro.network.topology import LOCAL_PORT, Topology
+from repro.routing.providers import PortProvider, dimension_order_provider
+from repro.tables.base import RoutingTable
+
+__all__ = [
+    "channel_dependency_graph",
+    "check_connectivity",
+    "check_minimality",
+    "escape_subfunction_is_deadlock_free",
+    "is_deadlock_free",
+]
+
+#: A channel is identified by the (router, output port) pair that drives it.
+Channel = Tuple[int, int]
+
+
+def _lookup_function(table_or_provider) -> Callable[[int, int], Tuple[int, ...]]:
+    """Accept either a RoutingTable or a plain provider function."""
+    if isinstance(table_or_provider, RoutingTable):
+        return table_or_provider.lookup
+    return table_or_provider
+
+
+def check_connectivity(
+    table_or_provider, topology: Topology, max_hops: int = None
+) -> List[str]:
+    """Verify every (source, destination) pair is routable.
+
+    Follows *every* permitted port at every step (the adversarial case for
+    an adaptive relation) and reports pairs that can loop or exceed
+    ``max_hops``.  Returns a list of human-readable problems (empty when
+    the relation is sound).
+    """
+    lookup = _lookup_function(table_or_provider)
+    if max_hops is None:
+        max_hops = 4 * topology.num_nodes
+    problems: List[str] = []
+    for destination in range(topology.num_nodes):
+        # Breadth-first over "frontier of nodes still heading to destination",
+        # tracking the worst-case number of hops taken so far.
+        depth: Dict[int, int] = {}
+        frontier = [
+            node for node in range(topology.num_nodes) if node != destination
+        ]
+        for node in frontier:
+            depth[node] = 0
+        pending = list(frontier)
+        while pending:
+            node = pending.pop()
+            if depth[node] > max_hops:
+                problems.append(
+                    f"route toward {destination} exceeds {max_hops} hops at node {node}"
+                )
+                continue
+            ports = lookup(node, destination)
+            if not ports:
+                problems.append(f"no route from {node} to {destination}")
+                continue
+            for port in ports:
+                if port == LOCAL_PORT:
+                    if node != destination:
+                        problems.append(
+                            f"premature local exit at {node} heading to {destination}"
+                        )
+                    continue
+                neighbor = topology.neighbor(node, port)
+                if neighbor is None:
+                    problems.append(
+                        f"port {port} at node {node} leads off the network "
+                        f"(destination {destination})"
+                    )
+                    continue
+                if neighbor == destination:
+                    continue
+                next_depth = depth[node] + 1
+                if neighbor not in depth or next_depth > depth[neighbor]:
+                    depth[neighbor] = next_depth
+                    if next_depth <= max_hops:
+                        pending.append(neighbor)
+                    else:
+                        problems.append(
+                            f"route toward {destination} exceeds {max_hops} hops "
+                            f"at node {neighbor}"
+                        )
+    return problems
+
+
+def check_minimality(table_or_provider, topology: Topology) -> List[str]:
+    """Verify every permitted port lies on a minimal path.
+
+    Returns a list of violations (empty for minimal relations).  Interval
+    routing, which is tree-based and generally non-minimal, is expected to
+    fail this check -- that is precisely the paper's criticism of it.
+    """
+    lookup = _lookup_function(table_or_provider)
+    problems: List[str] = []
+    for source in range(topology.num_nodes):
+        for destination in range(topology.num_nodes):
+            if source == destination:
+                continue
+            base_distance = topology.distance(source, destination)
+            for port in lookup(source, destination):
+                if port == LOCAL_PORT:
+                    problems.append(
+                        f"local port offered at {source} for remote destination {destination}"
+                    )
+                    continue
+                neighbor = topology.neighbor(source, port)
+                if neighbor is None or topology.distance(neighbor, destination) != base_distance - 1:
+                    problems.append(
+                        f"port {port} at {source} toward {destination} is not minimal"
+                    )
+    return problems
+
+
+def channel_dependency_graph(
+    topology: Topology, table_or_provider
+) -> "nx.DiGraph":
+    """Build the channel dependency graph of a single-class routing relation.
+
+    Nodes are physical channels identified by (router, output port).  There
+    is an edge from channel ``c1 = (u -> v)`` to channel ``c2 = (v -> w)``
+    when some destination ``d`` exists for which the relation routes a
+    message out of ``u`` over ``c1`` *and* out of ``v`` over ``c2`` -- i.e.
+    a message heading to ``d`` can hold ``c1`` while requesting ``c2``.
+    """
+    lookup = _lookup_function(table_or_provider)
+    graph = nx.DiGraph()
+    for node, port, neighbor, _ in topology.links():
+        graph.add_node((node, port))
+    for node, port, neighbor, _ in topology.links():
+        holding: Channel = (node, port)
+        for destination in range(topology.num_nodes):
+            if destination == neighbor or destination == node:
+                continue
+            # The message only holds this channel if the relation actually
+            # routes it over this channel toward the destination.
+            if port not in lookup(node, destination):
+                continue
+            for next_port in lookup(neighbor, destination):
+                if next_port == LOCAL_PORT:
+                    continue
+                if topology.neighbor(neighbor, next_port) is None:
+                    continue
+                graph.add_edge(holding, (neighbor, next_port))
+    return graph
+
+
+def is_deadlock_free(topology: Topology, table_or_provider) -> bool:
+    """True when the relation's channel dependency graph is acyclic.
+
+    This is the Dally/Seitz condition for routing relations confined to a
+    single (virtual-)channel class.  Unrestricted minimal adaptive routing
+    on a mesh fails it -- which is exactly why Duato's algorithm adds the
+    escape channels checked by :func:`escape_subfunction_is_deadlock_free`.
+    """
+    graph = channel_dependency_graph(topology, table_or_provider)
+    return nx.is_directed_acyclic_graph(graph)
+
+
+def escape_subfunction_is_deadlock_free(topology: Topology) -> bool:
+    """Check the dimension-order escape subfunction used by Duato routing."""
+    return is_deadlock_free(topology, dimension_order_provider(topology))

@@ -1,0 +1,61 @@
+"""Synthetic workload generation.
+
+This subpackage contains everything needed to offer load to the simulated
+network the way the LAPSES paper does (Section 2.2):
+
+* :mod:`repro.traffic.message` -- messages and flits, the units of
+  transfer in a wormhole network.
+* :mod:`repro.traffic.patterns` -- the synthetic destination patterns
+  (uniform, transpose, bit-reversal, perfect-shuffle, and a few extras).
+* :mod:`repro.traffic.injection` -- injection processes (exponential and
+  Bernoulli inter-arrival times) and the normalized-load calibration
+  against the network's bisection bandwidth.
+* :mod:`repro.traffic.generator` -- the per-node traffic source that ties
+  a pattern and an injection process together and feeds the network
+  interfaces.
+"""
+
+from repro.traffic.injection import (
+    BernoulliInjection,
+    ExponentialInjection,
+    InjectionProcess,
+    saturation_flit_rate,
+    saturation_message_rate,
+)
+from repro.traffic.message import Flit, FlitType, Message
+from repro.traffic.patterns import (
+    BitComplementPattern,
+    BitReversalPattern,
+    HotspotPattern,
+    NearestNeighborPattern,
+    PerfectShufflePattern,
+    TornadoPattern,
+    TrafficPattern,
+    TransposePattern,
+    UniformPattern,
+    make_pattern,
+)
+from repro.traffic.generator import TrafficGenerator, TrafficSource
+
+__all__ = [
+    "BernoulliInjection",
+    "BitComplementPattern",
+    "BitReversalPattern",
+    "ExponentialInjection",
+    "Flit",
+    "FlitType",
+    "HotspotPattern",
+    "InjectionProcess",
+    "Message",
+    "NearestNeighborPattern",
+    "PerfectShufflePattern",
+    "TornadoPattern",
+    "TrafficGenerator",
+    "TrafficPattern",
+    "TrafficSource",
+    "TransposePattern",
+    "UniformPattern",
+    "make_pattern",
+    "saturation_flit_rate",
+    "saturation_message_rate",
+]

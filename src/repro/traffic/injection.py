@@ -1,0 +1,104 @@
+"""Injection processes and normalized-load calibration.
+
+The paper injects messages with exponentially distributed inter-arrival
+times and reports results against *normalized load*: the ratio of the
+per-node injection rate to the rate at which node-uniform traffic
+saturates the network bisection (Section 2.2).  The helpers here convert a
+normalized load into the per-node message rate for a given topology and
+message length.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.network.topology import Topology
+
+__all__ = [
+    "BernoulliInjection",
+    "ExponentialInjection",
+    "InjectionProcess",
+    "saturation_flit_rate",
+    "saturation_message_rate",
+    "message_rate_for_load",
+]
+
+
+def saturation_flit_rate(topology: Topology) -> float:
+    """Per-node flit injection rate (flits/cycle) saturating the bisection
+    under node-uniform traffic -- the denominator of normalized load."""
+    return topology.saturation_flit_rate()
+
+
+def saturation_message_rate(topology: Topology, message_length: int) -> float:
+    """Per-node message injection rate (messages/cycle) at normalized load 1.0."""
+    if message_length < 1:
+        raise ValueError("messages are at least one flit long")
+    return saturation_flit_rate(topology) / message_length
+
+
+def message_rate_for_load(
+    topology: Topology, message_length: int, normalized_load: float
+) -> float:
+    """Per-node message rate corresponding to a normalized load."""
+    if normalized_load < 0:
+        raise ValueError("normalized load cannot be negative")
+    return normalized_load * saturation_message_rate(topology, message_length)
+
+
+class InjectionProcess(ABC):
+    """Generates inter-arrival times (in cycles) between messages of one node."""
+
+    #: Report name ("exponential" or "bernoulli").
+    name: str = "injection"
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError(f"injection rate cannot be negative, got {rate}")
+        self._rate = rate
+
+    @property
+    def rate(self) -> float:
+        """Mean messages per cycle."""
+        return self._rate
+
+    @abstractmethod
+    def next_interval(self, rng: random.Random) -> float:
+        """Cycles until the next message (may be fractional)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(rate={self._rate})"
+
+
+class ExponentialInjection(InjectionProcess):
+    """Poisson arrivals: exponentially distributed inter-arrival times.
+
+    This is the paper's injection process (Table 2).
+    """
+
+    name = "exponential"
+
+    def next_interval(self, rng: random.Random) -> float:
+        if self._rate == 0:
+            return float("inf")
+        return rng.expovariate(self._rate)
+
+
+class BernoulliInjection(InjectionProcess):
+    """Slotted Bernoulli arrivals: geometric inter-arrival times in cycles."""
+
+    name = "bernoulli"
+
+    def __init__(self, rate: float) -> None:
+        if rate > 1.0:
+            raise ValueError("a Bernoulli process cannot exceed one message per cycle")
+        super().__init__(rate)
+
+    def next_interval(self, rng: random.Random) -> float:
+        if self._rate == 0:
+            return float("inf")
+        interval = 1
+        while rng.random() >= self._rate:
+            interval += 1
+        return float(interval)

@@ -1,0 +1,230 @@
+"""Synthetic traffic patterns (Section 2.2 of the paper).
+
+The paper evaluates four patterns -- uniform, transpose, bit-reversal and
+perfect shuffle -- "consistent with standard definitions for synthetic
+traffic patterns used in interconnection network studies" (Fulgham &
+Snyder).  Bit-complement, tornado, nearest-neighbour and hotspot patterns
+are provided as well for the extension benchmarks.
+
+The bit-oriented permutations operate on the binary node address (which
+requires a power-of-two node count); transpose swaps the X and Y
+coordinates (which requires a square 2-D network).  A permutation source
+whose image equals itself does not inject traffic, following common
+practice for these benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Type
+
+from repro.network.topology import Topology
+
+__all__ = [
+    "BitComplementPattern",
+    "BitReversalPattern",
+    "HotspotPattern",
+    "NearestNeighborPattern",
+    "PerfectShufflePattern",
+    "TornadoPattern",
+    "TrafficPattern",
+    "TransposePattern",
+    "UniformPattern",
+    "make_pattern",
+]
+
+
+class TrafficPattern(ABC):
+    """Maps a source node to a destination node for each generated message."""
+
+    #: Report name ("uniform", "transpose", ...).
+    name: str = "pattern"
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+
+    @property
+    def topology(self) -> Topology:
+        """Topology the pattern addresses."""
+        return self._topology
+
+    @abstractmethod
+    def destination(self, source: int, rng: random.Random) -> Optional[int]:
+        """Destination for a message injected at ``source``.
+
+        Returns ``None`` when the source does not inject under this pattern
+        (permutation fixed points).
+        """
+
+    def _require_power_of_two(self) -> int:
+        """Number of address bits; raises if the node count is not 2^k."""
+        num_nodes = self._topology.num_nodes
+        if num_nodes & (num_nodes - 1):
+            raise ValueError(
+                f"{self.name} traffic needs a power-of-two node count, got {num_nodes}"
+            )
+        return num_nodes.bit_length() - 1
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(topology={self._topology!r})"
+
+
+class UniformPattern(TrafficPattern):
+    """Every message picks a destination uniformly at random (excluding self)."""
+
+    name = "uniform"
+
+    def destination(self, source: int, rng: random.Random) -> Optional[int]:
+        num_nodes = self._topology.num_nodes
+        destination = rng.randrange(num_nodes - 1)
+        # Skip over the source so all other nodes are equally likely.
+        if destination >= source:
+            destination += 1
+        return destination
+
+
+class TransposePattern(TrafficPattern):
+    """Matrix-transpose permutation: node (x, y) sends to node (y, x)."""
+
+    name = "transpose"
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology)
+        if topology.n_dims != 2 or topology.dims[0] != topology.dims[1]:
+            raise ValueError("transpose traffic needs a square 2-D network")
+
+    def destination(self, source: int, rng: random.Random) -> Optional[int]:
+        x, y = self._topology.coordinates(source)
+        destination = self._topology.node_id((y, x))
+        return None if destination == source else destination
+
+
+class BitReversalPattern(TrafficPattern):
+    """Bit-reversal permutation of the binary node address."""
+
+    name = "bit-reversal"
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology)
+        self._bits = self._require_power_of_two()
+
+    def destination(self, source: int, rng: random.Random) -> Optional[int]:
+        destination = 0
+        for bit in range(self._bits):
+            if source & (1 << bit):
+                destination |= 1 << (self._bits - 1 - bit)
+        return None if destination == source else destination
+
+
+class PerfectShufflePattern(TrafficPattern):
+    """Perfect-shuffle permutation: rotate the address left by one bit."""
+
+    name = "shuffle"
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology)
+        self._bits = self._require_power_of_two()
+
+    def destination(self, source: int, rng: random.Random) -> Optional[int]:
+        mask = (1 << self._bits) - 1
+        destination = ((source << 1) | (source >> (self._bits - 1))) & mask
+        return None if destination == source else destination
+
+
+class BitComplementPattern(TrafficPattern):
+    """Bit-complement permutation: invert every address bit."""
+
+    name = "bit-complement"
+
+    def __init__(self, topology: Topology) -> None:
+        super().__init__(topology)
+        self._bits = self._require_power_of_two()
+
+    def destination(self, source: int, rng: random.Random) -> Optional[int]:
+        mask = (1 << self._bits) - 1
+        destination = (~source) & mask
+        return None if destination == source else destination
+
+
+class TornadoPattern(TrafficPattern):
+    """Tornado traffic: move half-way around every dimension."""
+
+    name = "tornado"
+
+    def destination(self, source: int, rng: random.Random) -> Optional[int]:
+        coords = self._topology.coordinates(source)
+        dims = self._topology.dims
+        target = tuple(
+            (coordinate + (extent // 2) - (0 if self._topology.wraps else 1)) % extent
+            if extent > 1
+            else coordinate
+            for coordinate, extent in zip(coords, dims)
+        )
+        destination = self._topology.node_id(target)
+        return None if destination == source else destination
+
+
+class NearestNeighborPattern(TrafficPattern):
+    """Each node sends to its +X neighbour (wrapping at the mesh edge)."""
+
+    name = "neighbor"
+
+    def destination(self, source: int, rng: random.Random) -> Optional[int]:
+        coords = list(self._topology.coordinates(source))
+        coords[0] = (coords[0] + 1) % self._topology.dims[0]
+        destination = self._topology.node_id(coords)
+        return None if destination == source else destination
+
+
+class HotspotPattern(TrafficPattern):
+    """Uniform traffic with an extra fraction directed at one hotspot node."""
+
+    name = "hotspot"
+
+    def __init__(
+        self, topology: Topology, hotspot: Optional[int] = None, fraction: float = 0.1
+    ) -> None:
+        super().__init__(topology)
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"hotspot fraction must be in [0, 1], got {fraction}")
+        center = tuple(extent // 2 for extent in topology.dims)
+        self._hotspot = hotspot if hotspot is not None else topology.node_id(center)
+        self._fraction = fraction
+        self._uniform = UniformPattern(topology)
+
+    @property
+    def hotspot(self) -> int:
+        """The node receiving the extra traffic."""
+        return self._hotspot
+
+    def destination(self, source: int, rng: random.Random) -> Optional[int]:
+        if source != self._hotspot and rng.random() < self._fraction:
+            return self._hotspot
+        return self._uniform.destination(source, rng)
+
+
+_PATTERNS: Dict[str, Type[TrafficPattern]] = {
+    UniformPattern.name: UniformPattern,
+    TransposePattern.name: TransposePattern,
+    BitReversalPattern.name: BitReversalPattern,
+    PerfectShufflePattern.name: PerfectShufflePattern,
+    BitComplementPattern.name: BitComplementPattern,
+    TornadoPattern.name: TornadoPattern,
+    NearestNeighborPattern.name: NearestNeighborPattern,
+    HotspotPattern.name: HotspotPattern,
+}
+
+#: Pattern names accepted by :func:`make_pattern`.
+PATTERN_NAMES = tuple(sorted(_PATTERNS))
+
+
+def make_pattern(name: str, topology: Topology, **kwargs) -> TrafficPattern:
+    """Instantiate a traffic pattern by its report name."""
+    try:
+        pattern_cls = _PATTERNS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic pattern {name!r}; expected one of {PATTERN_NAMES}"
+        ) from None
+    return pattern_cls(topology, **kwargs)

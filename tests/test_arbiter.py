@@ -1,0 +1,53 @@
+"""Tests for the round-robin arbiter."""
+
+import pytest
+
+from repro.router.arbiter import RoundRobinArbiter
+
+
+def test_single_requester_is_granted():
+    arbiter = RoundRobinArbiter(4)
+    assert arbiter.grant([2]) == 2
+
+
+def test_no_request_returns_none():
+    arbiter = RoundRobinArbiter(4)
+    assert arbiter.grant([]) is None
+
+
+def test_priority_rotates_after_each_grant():
+    arbiter = RoundRobinArbiter(3)
+    grants = [arbiter.grant([0, 1, 2]) for _ in range(6)]
+    assert grants == [0, 1, 2, 0, 1, 2]
+
+
+def test_priority_skips_non_requesting_slots():
+    arbiter = RoundRobinArbiter(4)
+    assert arbiter.grant([1, 3]) == 1
+    assert arbiter.grant([1, 3]) == 3
+    assert arbiter.grant([1, 3]) == 1
+
+
+def test_fairness_over_many_rounds():
+    arbiter = RoundRobinArbiter(4)
+    counts = {slot: 0 for slot in range(4)}
+    for _ in range(400):
+        counts[arbiter.grant([0, 1, 2, 3])] += 1
+    assert all(count == 100 for count in counts.values())
+
+
+def test_no_starvation_with_persistent_competitor():
+    arbiter = RoundRobinArbiter(2)
+    grants = [arbiter.grant([0, 1]) for _ in range(10)]
+    assert grants.count(0) == grants.count(1) == 5
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ValueError):
+        RoundRobinArbiter(0)
+
+
+def test_repr_shows_state():
+    arbiter = RoundRobinArbiter(3)
+    arbiter.grant([2])
+    assert "next=0" in repr(arbiter)

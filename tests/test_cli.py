@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+TINY_ARGS = [
+    "--mesh", "4x4",
+    "--message-length", "4",
+    "--messages", "150",
+    "--warmup", "20",
+    "--load", "0.2",
+]
+
+
+def test_parser_requires_a_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_parser_rejects_bad_mesh_and_loads():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--mesh", "axb"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["sweep", "--loads", "0.1,x"])
+
+
+def test_run_command_prints_a_summary_row(capsys):
+    exit_code = main(["run", *TINY_ARGS])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "latency" in output
+    assert "uniform" in output
+
+
+def test_run_command_honours_configuration_flags(capsys):
+    exit_code = main(
+        ["run", *TINY_ARGS, "--traffic", "transpose", "--selector", "lru",
+         "--pipeline", "proud", "--table", "full"]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "transpose" in output
+    assert "lru" in output
+    assert "proud" in output
+
+
+def test_sweep_command_prints_one_row_per_load(capsys):
+    exit_code = main(["sweep", *TINY_ARGS, "--loads", "0.1,0.3"])
+    assert exit_code == 0
+    lines = [line for line in capsys.readouterr().out.splitlines() if line.strip()]
+    # header + separator + two data rows
+    assert len(lines) == 4
+    assert lines[0].startswith("load")
+
+
+def test_experiment_names_cover_every_paper_item():
+    assert set(EXPERIMENTS) == {
+        "figure5", "table3", "figure6", "table4", "table5", "figure7",
+    }
+
+
+def test_experiment_table5_is_analytic_and_fast(capsys):
+    exit_code = main(["experiment", "table5", "--scale", "tiny"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "economical-storage" in output
+    assert "full-table" in output
+
+
+def test_experiment_figure7_prints_the_programming_table(capsys):
+    exit_code = main(["experiment", "figure7"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "north_last_ports" in output
+    assert "+Y" in output
+
+
+def test_experiment_rejects_unknown_name():
+    with pytest.raises(SystemExit):
+        main(["experiment", "figure99"])

@@ -1,0 +1,74 @@
+"""Tests for the Table 5 storage-cost model."""
+
+import pytest
+
+from repro.tables.cost_model import TableCostModel, table_cost_summary
+
+
+def test_paper_network_sizes():
+    model = TableCostModel(num_nodes=256, n_dims=2)
+    assert model.full_table_entries() == 256
+    assert model.meta_table_entries() == 2 * 16
+    assert model.interval_entries() == 5
+    assert model.economical_storage_entries() == 9
+
+
+def test_cray_t3d_comparison():
+    # Section 5.2.1: the 2048-node 3-D T3D interconnect needs a 2048-entry
+    # full table but only a 27-entry economical-storage table.
+    model = TableCostModel(num_nodes=2048, n_dims=3)
+    assert model.full_table_entries() == 2048
+    assert model.economical_storage_entries() == 27
+
+
+def test_meta_levels_scaling():
+    model = TableCostModel(num_nodes=4096, n_dims=2, meta_levels=2)
+    assert model.meta_table_entries() == 2 * 64
+    assert model.meta_table_entries(levels=3) == 3 * 16
+
+
+def test_meta_table_rounds_up_for_non_square_counts():
+    model = TableCostModel(num_nodes=100, n_dims=2)
+    assert model.meta_table_entries() == 2 * 10
+    model = TableCostModel(num_nodes=101, n_dims=2)
+    assert model.meta_table_entries() == 2 * 11
+
+
+def test_interval_entries_default_to_mesh_radix():
+    assert TableCostModel(num_nodes=64, n_dims=3).interval_entries() == 7
+    assert TableCostModel(num_nodes=64, n_dims=2, num_ports=12).interval_entries() == 12
+
+
+def test_summaries_have_all_schemes_in_order():
+    rows = table_cost_summary(num_nodes=256)
+    schemes = [row.scheme for row in rows]
+    assert schemes == ["full-table", "2-level meta-table", "interval", "economical-storage"]
+    by_scheme = {row.scheme: row for row in rows}
+    assert by_scheme["economical-storage"].entries_per_router == 9
+    assert by_scheme["full-table"].entries_per_router == 256
+    assert "SPIDER" in by_scheme["2-level meta-table"].commercial_examples
+
+
+def test_economical_storage_is_smallest_adaptive_scheme():
+    for num_nodes in (64, 256, 1024, 4096):
+        rows = {row.scheme: row for row in table_cost_summary(num_nodes=num_nodes)}
+        adaptive_rows = [
+            row for row in rows.values() if row.adaptivity.startswith("yes")
+        ]
+        smallest = min(adaptive_rows, key=lambda row: row.entries_per_router)
+        assert smallest.scheme == "economical-storage"
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TableCostModel(num_nodes=1)
+    with pytest.raises(ValueError):
+        TableCostModel(num_nodes=16, n_dims=0)
+    with pytest.raises(ValueError):
+        TableCostModel(num_nodes=16, meta_levels=1)
+
+
+def test_as_row_round_trip():
+    rows = table_cost_summary(num_nodes=64)
+    as_dicts = [row.as_row() for row in rows]
+    assert all(set(d) >= {"scheme", "entries_per_router", "adaptivity"} for d in as_dicts)

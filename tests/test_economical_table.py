@@ -1,0 +1,105 @@
+"""Tests for the economical-storage (sign-indexed) routing table."""
+
+import pytest
+
+from repro.network.topology import LOCAL_PORT, MeshTopology, port_for
+from repro.routing.providers import north_last_provider
+from repro.tables.base import TableProgrammingError
+from repro.tables.economical import EconomicalStorageTable
+from repro.tables.full_table import FullRoutingTable
+
+EAST = port_for(0, True)
+WEST = port_for(0, False)
+NORTH = port_for(1, True)
+SOUTH = port_for(1, False)
+
+
+@pytest.fixture
+def mesh():
+    return MeshTopology((4, 4))
+
+
+def test_entry_count_matches_paper_claim(mesh):
+    table = EconomicalStorageTable(mesh)
+    assert table.entries_per_router() == 9
+    three_d = EconomicalStorageTable(MeshTopology((3, 3, 3)))
+    assert three_d.entries_per_router() == 27
+
+
+def test_lookup_equals_full_table_for_every_pair(mesh):
+    economical = EconomicalStorageTable(mesh)
+    full = FullRoutingTable(mesh)
+    for source in range(mesh.num_nodes):
+        for destination in range(mesh.num_nodes):
+            assert set(economical.lookup(source, destination)) == set(
+                full.lookup(source, destination)
+            ), (source, destination)
+
+
+def test_index_of_is_the_sign_pair(mesh):
+    table = EconomicalStorageTable(mesh)
+    origin = mesh.node_id((1, 1))
+    assert table.index_of(origin, mesh.node_id((3, 0))) == (1, -1)
+    assert table.index_of(origin, origin) == (0, 0)
+
+
+def test_quadrant_axis_and_local_entries(mesh):
+    table = EconomicalStorageTable(mesh)
+    origin = mesh.node_id((1, 1))
+    assert set(table.entry(origin, (1, 1))) == {EAST, NORTH}
+    assert table.entry(origin, (1, 0)) == (EAST,)
+    assert table.entry(origin, (0, -1)) == (SOUTH,)
+    assert table.entry(origin, (0, 0)) == (LOCAL_PORT,)
+
+
+def test_corner_node_unreachable_patterns_get_geometric_defaults():
+    mesh = MeshTopology((3, 3))
+    table = EconomicalStorageTable(mesh)
+    corner = mesh.node_id((0, 0))
+    # No destination lies south-west of the origin corner, but the entry is
+    # still programmed (and never consulted).
+    assert set(table.entry(corner, (-1, -1))) == {WEST, SOUTH}
+
+
+def test_north_last_programming_matches_figure7():
+    mesh = MeshTopology((3, 3))
+    table = EconomicalStorageTable(mesh, provider=north_last_provider(mesh))
+    node = mesh.node_id((1, 1))
+    # North-east and north-west quadrants lose the +Y (North) choice.
+    assert table.entry(node, (1, 1)) == (EAST,)
+    assert table.entry(node, (-1, 1)) == (WEST,)
+    # Straight north keeps its only (allowed) port.
+    assert table.entry(node, (0, 1)) == (NORTH,)
+    # Southern quadrants keep both choices.
+    assert set(table.entry(node, (1, -1))) == {EAST, SOUTH}
+
+
+def test_reprogram_entry(mesh):
+    table = EconomicalStorageTable(mesh)
+    node = mesh.node_id((1, 1))
+    table.reprogram(node, (1, 1), (EAST,))
+    assert table.lookup(node, mesh.node_id((3, 3))) == (EAST,)
+
+
+def test_reprogram_validation(mesh):
+    table = EconomicalStorageTable(mesh)
+    with pytest.raises(TableProgrammingError):
+        table.reprogram(0, (2, 2), (EAST,))
+    with pytest.raises(TableProgrammingError):
+        table.reprogram(0, (1, 1), ())
+    with pytest.raises(TableProgrammingError):
+        table.reprogram(0, (1, 1), (42,))
+
+
+def test_describe_lists_all_entries(mesh):
+    table = EconomicalStorageTable(mesh)
+    entries = table.describe(mesh.node_id((2, 2)))
+    assert len(entries) == 9
+    signs = [signs for signs, _ in entries]
+    assert len(set(signs)) == 9
+
+
+def test_table_works_on_torus_signs():
+    torus_mesh = MeshTopology((4, 4))
+    table = EconomicalStorageTable(torus_mesh)
+    assert table.entries_per_router() == 9

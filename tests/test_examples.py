@@ -1,0 +1,68 @@
+"""Tests that the example scripts are importable and runnable.
+
+The three study scripts are executed in their ``--quick`` smoke-test mode
+as subprocesses (they exercise the public API end to end); the remaining
+examples are compile-checked so a syntax or import regression cannot slip
+through unnoticed.
+"""
+
+from __future__ import annotations
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+QUICK_EXAMPLES = [
+    "lookahead_study.py",
+    "path_selection_study.py",
+    "table_storage_study.py",
+]
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    env = {"PYTHONPATH": str(SRC_DIR), "PATH": "/usr/bin:/bin"}
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+
+
+def test_examples_directory_has_at_least_three_scenarios():
+    assert len(ALL_EXAMPLES) >= 4
+    assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=[p.name for p in ALL_EXAMPLES])
+def test_every_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("name", QUICK_EXAMPLES)
+def test_study_examples_run_in_quick_mode(name):
+    completed = run_example(name, "--quick")
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_lookahead_study_output_mentions_the_router_variants():
+    completed = run_example("lookahead_study.py", "--quick")
+    assert completed.returncode == 0, completed.stderr
+    assert "la_adapt_latency" in completed.stdout
+    assert "pct_improvement" in completed.stdout
+
+
+def test_table_storage_study_prints_cost_and_programming_tables():
+    completed = run_example("table_storage_study.py", "--quick")
+    assert completed.returncode == 0, completed.stderr
+    assert "economical-storage" in completed.stdout
+    assert "north_last_ports" in completed.stdout

@@ -1,0 +1,94 @@
+"""Tests for the traffic generator and per-node sources."""
+
+import pytest
+
+from repro.engine.rng import SimulationRNG
+from repro.network.topology import MeshTopology
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.injection import ExponentialInjection
+from repro.traffic.patterns import TransposePattern, UniformPattern
+
+
+def make_generator(rate=0.05, max_messages=None, pattern_cls=UniformPattern,
+                   message_length=4, seed=3):
+    topology = MeshTopology((4, 4))
+    return TrafficGenerator(
+        topology=topology,
+        pattern=pattern_cls(topology),
+        process=ExponentialInjection(rate),
+        message_length=message_length,
+        rng=SimulationRNG(seed=seed),
+        max_messages=max_messages,
+    )
+
+
+def collect(source, cycles):
+    messages = []
+    for cycle in range(cycles):
+        messages.extend(source.messages_due(cycle))
+    return messages
+
+
+def test_source_generates_at_roughly_the_configured_rate():
+    generator = make_generator(rate=0.05)
+    source = generator.source_for(3)
+    messages = collect(source, 20000)
+    assert len(messages) == pytest.approx(1000, rel=0.15)
+
+
+def test_messages_have_valid_fields():
+    generator = make_generator(rate=0.1)
+    source = generator.source_for(2)
+    for message in collect(source, 2000):
+        assert message.source == 2
+        assert message.destination != 2
+        assert 0 <= message.destination < 16
+        assert message.length == 4
+        assert 0 <= message.creation_cycle < 2000
+
+
+def test_creation_cycles_are_non_decreasing():
+    generator = make_generator(rate=0.2)
+    source = generator.source_for(0)
+    messages = collect(source, 3000)
+    cycles = [message.creation_cycle for message in messages]
+    assert cycles == sorted(cycles)
+
+
+def test_budget_is_enforced_across_sources():
+    generator = make_generator(rate=0.5, max_messages=50)
+    sources = generator.sources()
+    total = 0
+    for cycle in range(5000):
+        for source in sources:
+            total += len(source.messages_due(cycle))
+    assert total == 50
+    assert generator.generated == 50
+    assert generator.exhausted
+
+
+def test_permutation_fixed_points_do_not_generate():
+    generator = make_generator(rate=0.5, pattern_cls=TransposePattern)
+    topology = generator.pattern.topology
+    diagonal_source = generator.source_for(topology.node_id((1, 1)))
+    assert collect(diagonal_source, 2000) == []
+
+
+def test_generation_is_reproducible_for_equal_seeds():
+    first = make_generator(rate=0.1, seed=9).source_for(5)
+    second = make_generator(rate=0.1, seed=9).source_for(5)
+    a = [(m.creation_cycle, m.destination) for m in collect(first, 3000)]
+    b = [(m.creation_cycle, m.destination) for m in collect(second, 3000)]
+    assert a == b
+
+
+def test_different_nodes_use_different_streams():
+    generator = make_generator(rate=0.1)
+    a = [(m.creation_cycle, m.destination) for m in collect(generator.source_for(1), 3000)]
+    b = [(m.creation_cycle, m.destination) for m in collect(generator.source_for(2), 3000)]
+    assert a != b
+
+
+def test_invalid_message_length_rejected():
+    with pytest.raises(ValueError):
+        make_generator(message_length=0)

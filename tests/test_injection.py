@@ -1,0 +1,69 @@
+"""Tests for injection processes and normalized-load calibration."""
+
+import random
+
+import pytest
+
+from repro.network.topology import MeshTopology, TorusTopology
+from repro.traffic.injection import (
+    BernoulliInjection,
+    ExponentialInjection,
+    message_rate_for_load,
+    saturation_flit_rate,
+    saturation_message_rate,
+)
+
+
+def test_saturation_flit_rate_matches_topology():
+    mesh = MeshTopology((16, 16))
+    assert saturation_flit_rate(mesh) == pytest.approx(0.25)
+    torus = TorusTopology((16, 16))
+    assert saturation_flit_rate(torus) == pytest.approx(0.5)
+
+
+def test_saturation_message_rate_divides_by_length():
+    mesh = MeshTopology((16, 16))
+    assert saturation_message_rate(mesh, 20) == pytest.approx(0.0125)
+    with pytest.raises(ValueError):
+        saturation_message_rate(mesh, 0)
+
+
+def test_message_rate_for_load_scales_linearly():
+    mesh = MeshTopology((8, 8))
+    base = message_rate_for_load(mesh, 20, 0.1)
+    assert message_rate_for_load(mesh, 20, 0.2) == pytest.approx(2 * base)
+    assert message_rate_for_load(mesh, 20, 0.0) == 0.0
+    with pytest.raises(ValueError):
+        message_rate_for_load(mesh, 20, -0.1)
+
+
+def test_exponential_intervals_have_the_right_mean():
+    process = ExponentialInjection(rate=0.05)
+    rng = random.Random(7)
+    samples = [process.next_interval(rng) for _ in range(20000)]
+    mean = sum(samples) / len(samples)
+    assert mean == pytest.approx(20.0, rel=0.05)
+
+
+def test_exponential_zero_rate_never_fires():
+    process = ExponentialInjection(rate=0.0)
+    assert process.next_interval(random.Random(0)) == float("inf")
+
+
+def test_bernoulli_intervals_are_integers_with_right_mean():
+    process = BernoulliInjection(rate=0.25)
+    rng = random.Random(11)
+    samples = [process.next_interval(rng) for _ in range(20000)]
+    assert all(interval == int(interval) and interval >= 1 for interval in samples)
+    mean = sum(samples) / len(samples)
+    assert mean == pytest.approx(4.0, rel=0.05)
+
+
+def test_bernoulli_rejects_rates_above_one():
+    with pytest.raises(ValueError):
+        BernoulliInjection(rate=1.5)
+
+
+def test_negative_rates_rejected():
+    with pytest.raises(ValueError):
+        ExponentialInjection(rate=-0.1)

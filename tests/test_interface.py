@@ -1,0 +1,145 @@
+"""Tests for the network interface (injection and ejection endpoint)."""
+
+import pytest
+
+from repro.network.interface import NetworkInterface
+from repro.network.topology import LOCAL_PORT, MeshTopology
+from repro.router.config import RouterConfig
+from repro.router.pipeline import LA_PROUD
+from repro.router.router import Router
+from repro.routing.duato import DuatoFullyAdaptiveRouting
+from repro.selection.heuristics import StaticDimensionOrderSelector
+from repro.stats.collector import StatsCollector
+from repro.tables.economical import EconomicalStorageTable
+from repro.traffic.message import Message
+
+
+class RecordingRouter:
+    """Stands in for the router: records injected flits and credits."""
+
+    def __init__(self, config):
+        self.config = config
+        self.flits = []
+        self.credits = []
+
+    def receive_flit(self, port, vc, flit, arrival_cycle):
+        self.flits.append((arrival_cycle, port, vc, flit))
+
+    def receive_credit(self, port, vc, arrival_cycle):
+        self.credits.append((arrival_cycle, port, vc))
+
+
+def build_interface(pipeline=LA_PROUD, vcs=2, buffer_depth=5):
+    topology = MeshTopology((3, 3))
+    table = EconomicalStorageTable(topology)
+    routing = DuatoFullyAdaptiveRouting(topology, table)
+    config = RouterConfig(vcs_per_port=vcs, buffer_depth=buffer_depth, pipeline=pipeline)
+    router = RecordingRouter(config)
+    stats = StatsCollector()
+    interface = NetworkInterface(
+        node_id=4, router=router, routing=routing, stats=stats, source=None
+    )
+    return interface, router, stats, topology
+
+
+def drive(interface, cycles, start=0):
+    for cycle in range(start, start + cycles):
+        interface.deliver(cycle)
+        interface.evaluate(cycle)
+    return start + cycles
+
+
+def test_injects_one_flit_per_cycle():
+    interface, router, stats, topology = build_interface()
+    message = Message(source=4, destination=0, length=4, creation_cycle=0)
+    interface.offer(message)
+    drive(interface, 10)
+    assert len(router.flits) == 4
+    arrival_cycles = [cycle for cycle, _, _, _ in router.flits]
+    assert arrival_cycles == sorted(arrival_cycles)
+    # One flit per cycle over the injection channel.
+    assert len(set(arrival_cycles)) == 4
+    assert stats.created == 1
+
+
+def test_injection_sets_injection_cycle_and_stats():
+    interface, router, stats, topology = build_interface()
+    message = Message(source=4, destination=0, length=2, creation_cycle=0)
+    interface.offer(message)
+    drive(interface, 5)
+    assert message.injection_cycle is not None
+    assert stats.created == 1
+
+
+def test_lookahead_interface_precomputes_first_hop_decision():
+    interface, router, stats, topology = build_interface(pipeline=LA_PROUD)
+    interface.offer(Message(source=4, destination=0, length=2, creation_cycle=0))
+    drive(interface, 5)
+    header = router.flits[0][3]
+    assert header.lookahead_node == 4
+    assert header.lookahead_decision is not None
+
+
+def test_non_lookahead_interface_leaves_header_plain():
+    from repro.router.pipeline import PROUD
+
+    interface, router, stats, topology = build_interface(pipeline=PROUD)
+    interface.offer(Message(source=4, destination=0, length=2, creation_cycle=0))
+    drive(interface, 5)
+    header = router.flits[0][3]
+    assert header.lookahead_node is None
+
+
+def test_injection_respects_credits():
+    interface, router, stats, topology = build_interface(vcs=2, buffer_depth=3)
+    interface.offer(Message(source=4, destination=0, length=10, creation_cycle=0))
+    drive(interface, 20)
+    # Only buffer_depth flits can be outstanding on the chosen VC without
+    # credit returns from the router.
+    assert len(router.flits) == 3
+    used_vc = router.flits[0][2]
+    for cycle in (21, 22):
+        interface.receive_credit(LOCAL_PORT, used_vc, cycle)
+    drive(interface, 10, start=21)
+    assert len(router.flits) == 5
+
+
+def test_concurrent_messages_use_distinct_vcs():
+    interface, router, stats, topology = build_interface(vcs=2)
+    interface.offer(Message(source=4, destination=0, length=3, creation_cycle=0))
+    interface.offer(Message(source=4, destination=8, length=3, creation_cycle=0))
+    drive(interface, 3)
+    vcs_used = {vc for _, _, vc, _ in router.flits}
+    assert vcs_used == {0, 1}
+
+
+def test_queue_length_reflects_backlog():
+    interface, router, stats, topology = build_interface(vcs=1)
+    for _ in range(3):
+        interface.offer(Message(source=4, destination=0, length=2, creation_cycle=0))
+    assert interface.queue_length == 3
+    drive(interface, 1)
+    assert interface.queue_length == 2
+
+
+def test_ejection_records_delivery_and_returns_credit():
+    interface, router, stats, topology = build_interface()
+    message = Message(source=0, destination=4, length=2, creation_cycle=0)
+    message.injection_cycle = 1
+    flits = message.make_flits()
+    interface.receive_flit(LOCAL_PORT, 1, flits[0], 10)
+    interface.receive_flit(LOCAL_PORT, 1, flits[1], 11)
+    drive(interface, 15)
+    assert message.is_delivered
+    assert message.ejection_cycle == 11
+    assert stats.delivered == 1
+    # One credit per consumed flit goes back to the router's local port.
+    assert len(router.credits) == 2
+    assert all(port == LOCAL_PORT for _, port, _ in router.credits)
+
+
+def test_is_idle_accounts_for_queued_work():
+    interface, router, stats, topology = build_interface()
+    assert interface.is_idle()
+    interface.offer(Message(source=4, destination=0, length=1, creation_cycle=0))
+    assert not interface.is_idle()

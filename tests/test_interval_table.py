@@ -1,0 +1,87 @@
+"""Tests for interval (universal) routing tables."""
+
+import pytest
+
+from repro.network.topology import LOCAL_PORT, MeshTopology, TorusTopology
+from repro.tables.interval import IntervalRoutingTable
+
+
+@pytest.fixture
+def mesh():
+    return MeshTopology((4, 4))
+
+
+def follow_route(table, topology, source, destination, limit=200):
+    """Follow the table's lookups hop by hop until the destination."""
+    current = source
+    hops = 0
+    while current != destination:
+        (port,) = table.lookup(current, destination)
+        assert port != LOCAL_PORT, "local port before reaching the destination"
+        current = topology.neighbor(current, port)
+        assert current is not None, "routed off the edge of the mesh"
+        hops += 1
+        assert hops <= limit, "routing loop detected"
+    (port,) = table.lookup(current, destination)
+    assert port == LOCAL_PORT
+    return hops
+
+
+def test_entries_per_router_equals_radix(mesh):
+    table = IntervalRoutingTable(mesh)
+    assert table.entries_per_router() == mesh.radix
+    assert table.num_routers() == mesh.num_nodes
+
+
+def test_labels_are_a_permutation(mesh):
+    table = IntervalRoutingTable(mesh)
+    labels = {table.label_of(node) for node in range(mesh.num_nodes)}
+    assert labels == set(range(mesh.num_nodes))
+
+
+def test_every_pair_is_routable(mesh):
+    table = IntervalRoutingTable(mesh)
+    for source in range(mesh.num_nodes):
+        for destination in range(mesh.num_nodes):
+            if source == destination:
+                assert table.lookup(source, destination) == (LOCAL_PORT,)
+            else:
+                follow_route(table, mesh, source, destination)
+
+
+def test_routes_may_be_non_minimal_but_bounded(mesh):
+    # Tree routing is generally non-minimal; every route must still be
+    # bounded by twice the number of nodes (tree diameter bound).
+    table = IntervalRoutingTable(mesh)
+    worst = 0
+    for source in range(mesh.num_nodes):
+        for destination in range(mesh.num_nodes):
+            if source != destination:
+                worst = max(worst, follow_route(table, mesh, source, destination))
+    assert worst <= 2 * mesh.num_nodes
+    assert worst >= mesh.distance(0, mesh.num_nodes - 1)
+
+
+def test_intervals_cover_the_label_space_exactly_once(mesh):
+    table = IntervalRoutingTable(mesh)
+    for node in range(mesh.num_nodes):
+        covered = []
+        for low, high, _ in table.intervals(node):
+            covered.extend(range(low, high))
+        assert sorted(covered) == list(range(mesh.num_nodes))
+
+
+def test_interval_routing_works_on_torus():
+    torus = TorusTopology((3, 3))
+    table = IntervalRoutingTable(torus)
+    for source in range(torus.num_nodes):
+        for destination in range(torus.num_nodes):
+            if source != destination:
+                follow_route(table, torus, source, destination)
+
+
+def test_custom_root(mesh):
+    table = IntervalRoutingTable(mesh, root=5)
+    assert table.label_of(5) == 0
+    with pytest.raises(ValueError):
+        IntervalRoutingTable(mesh, root=99)

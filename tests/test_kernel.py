@@ -1,0 +1,85 @@
+"""Tests for the two-phase cycle-driven simulation kernel."""
+
+import pytest
+
+from repro.engine.clock import Clock
+from repro.engine.kernel import SimulationKernel
+
+
+class RecordingComponent:
+    """Records the order and cycles of its deliver/evaluate calls."""
+
+    def __init__(self, name, log):
+        self.name = name
+        self.log = log
+
+    def deliver(self, cycle):
+        self.log.append((cycle, self.name, "deliver"))
+
+    def evaluate(self, cycle):
+        self.log.append((cycle, self.name, "evaluate"))
+
+
+def test_step_runs_deliver_before_evaluate_for_all_components():
+    log = []
+    kernel = SimulationKernel()
+    kernel.register_all([RecordingComponent("a", log), RecordingComponent("b", log)])
+    kernel.step()
+    assert log == [
+        (0, "a", "deliver"),
+        (0, "b", "deliver"),
+        (0, "a", "evaluate"),
+        (0, "b", "evaluate"),
+    ]
+
+
+def test_step_advances_clock():
+    kernel = SimulationKernel()
+    kernel.step()
+    kernel.step()
+    assert kernel.clock.now == 2
+
+
+def test_run_executes_requested_cycles():
+    log = []
+    kernel = SimulationKernel()
+    kernel.register(RecordingComponent("a", log))
+    executed = kernel.run(5)
+    assert executed == 5
+    assert kernel.clock.now == 5
+    assert len(log) == 10  # deliver + evaluate per cycle
+
+
+def test_run_honours_stop_condition():
+    kernel = SimulationKernel()
+    kernel.add_stop_condition(lambda cycle: cycle >= 3)
+    executed = kernel.run(100)
+    assert executed == 3
+    assert kernel.clock.now == 3
+
+
+def test_run_rejects_negative_budget():
+    with pytest.raises(ValueError):
+        SimulationKernel().run(-1)
+
+
+def test_run_with_zero_budget_does_nothing():
+    kernel = SimulationKernel()
+    assert kernel.run(0) == 0
+    assert kernel.clock.now == 0
+
+
+def test_external_clock_is_used():
+    clock = Clock(start=10)
+    kernel = SimulationKernel(clock=clock)
+    kernel.step()
+    assert clock.now == 11
+
+
+def test_components_property_preserves_registration_order():
+    kernel = SimulationKernel()
+    first = RecordingComponent("a", [])
+    second = RecordingComponent("b", [])
+    kernel.register(first)
+    kernel.register(second)
+    assert kernel.components == [first, second]

@@ -1,0 +1,83 @@
+"""Tests for the meta-table cluster mappings."""
+
+import pytest
+
+from repro.network.topology import MeshTopology
+from repro.tables.mappings import BlockClusterMapping, RowClusterMapping
+
+
+@pytest.fixture
+def mesh16():
+    return MeshTopology((16, 16))
+
+
+@pytest.fixture
+def mesh4():
+    return MeshTopology((4, 4))
+
+
+def test_row_mapping_structure(mesh4):
+    mapping = RowClusterMapping(mesh4)
+    assert mapping.num_clusters == 4
+    assert mapping.cluster_size == 4
+    mapping.validate()
+    node = mesh4.node_id((2, 3))
+    assert mapping.cluster_of(node) == 3
+    assert mapping.subcluster_of(node) == 2
+
+
+def test_row_mapping_clusters_are_rows(mesh4):
+    mapping = RowClusterMapping(mesh4)
+    for cluster in range(mapping.num_clusters):
+        members = mapping.nodes_in_cluster(cluster)
+        ys = {mesh4.coordinates(node)[1] for node in members}
+        assert ys == {cluster}
+        assert len(members) == 4
+
+
+def test_block_mapping_default_blocks_match_paper(mesh16):
+    mapping = BlockClusterMapping(mesh16)
+    assert mapping.block_dims == (4, 4)
+    assert mapping.grid_dims == (4, 4)
+    assert mapping.num_clusters == 16
+    assert mapping.cluster_size == 16
+    mapping.validate()
+
+
+def test_block_mapping_cluster_ids_form_a_grid(mesh16):
+    mapping = BlockClusterMapping(mesh16)
+    # Cluster 0 is the bottom-left block, cluster 1 is directly to its east,
+    # cluster 4 directly to its north (Fig. 8b of the paper).
+    assert mapping.cluster_of(mesh16.node_id((0, 0))) == 0
+    assert mapping.cluster_of(mesh16.node_id((4, 0))) == 1
+    assert mapping.cluster_of(mesh16.node_id((0, 4))) == 4
+    assert mapping.cluster_of(mesh16.node_id((5, 5))) == 5
+    assert mapping.cluster_of(mesh16.node_id((15, 15))) == 15
+
+
+def test_block_mapping_custom_blocks(mesh4):
+    mapping = BlockClusterMapping(mesh4, block_dims=(2, 2))
+    assert mapping.num_clusters == 4
+    assert mapping.cluster_size == 4
+    mapping.validate()
+
+
+def test_block_mapping_rejects_non_tiling_blocks(mesh4):
+    with pytest.raises(ValueError):
+        BlockClusterMapping(mesh4, block_dims=(3, 2))
+
+
+def test_node_for_inverts_cluster_and_subcluster(mesh4):
+    for mapping in (RowClusterMapping(mesh4), BlockClusterMapping(mesh4, block_dims=(2, 2))):
+        for node in range(mesh4.num_nodes):
+            cluster = mapping.cluster_of(node)
+            subcluster = mapping.subcluster_of(node)
+            assert mapping.node_for(cluster, subcluster) == node
+
+
+def test_mappings_require_2d():
+    mesh3d = MeshTopology((2, 2, 2))
+    with pytest.raises(ValueError):
+        RowClusterMapping(mesh3d)
+    with pytest.raises(ValueError):
+        BlockClusterMapping(mesh3d)

@@ -1,0 +1,82 @@
+"""Tests for messages and flits."""
+
+import pytest
+
+from repro.traffic.message import Flit, FlitType, Message
+
+
+def make_message(length=4):
+    return Message(source=0, destination=5, length=length, creation_cycle=10)
+
+
+def test_message_validation():
+    with pytest.raises(ValueError):
+        Message(source=0, destination=1, length=0, creation_cycle=0)
+    with pytest.raises(ValueError):
+        Message(source=-1, destination=1, length=1, creation_cycle=0)
+
+
+def test_message_ids_are_unique():
+    a = make_message()
+    b = make_message()
+    assert a.message_id != b.message_id
+
+
+def test_make_flits_structure():
+    message = make_message(length=5)
+    flits = message.make_flits()
+    assert len(flits) == 5
+    assert flits[0].flit_type is FlitType.HEAD
+    assert all(flit.flit_type is FlitType.BODY for flit in flits[1:-1])
+    assert flits[-1].flit_type is FlitType.TAIL
+    assert [flit.sequence for flit in flits] == list(range(5))
+
+
+def test_single_flit_message_is_head_and_tail():
+    message = make_message(length=1)
+    (flit,) = message.make_flits()
+    assert flit.flit_type is FlitType.HEAD_TAIL
+    assert flit.is_head and flit.is_tail
+
+
+def test_two_flit_message_has_no_body():
+    flits = make_message(length=2).make_flits()
+    assert [flit.flit_type for flit in flits] == [FlitType.HEAD, FlitType.TAIL]
+
+
+def test_flit_properties_delegate_to_message():
+    message = make_message()
+    flit = message.make_flits()[0]
+    assert flit.source == message.source
+    assert flit.destination == message.destination
+
+
+def test_latency_accounting():
+    message = make_message()
+    message.injection_cycle = 15
+    message.ejection_cycle = 40
+    assert message.total_latency == 30
+    assert message.network_latency == 25
+    assert message.is_delivered
+
+
+def test_latency_before_delivery_raises():
+    message = make_message()
+    with pytest.raises(ValueError):
+        _ = message.total_latency
+    with pytest.raises(ValueError):
+        _ = message.network_latency
+
+
+def test_flit_type_classification():
+    assert FlitType.HEAD.is_head and not FlitType.HEAD.is_tail
+    assert FlitType.TAIL.is_tail and not FlitType.TAIL.is_head
+    assert not FlitType.BODY.is_head and not FlitType.BODY.is_tail
+    assert FlitType.HEAD_TAIL.is_head and FlitType.HEAD_TAIL.is_tail
+
+
+def test_flit_repr_mentions_message_and_sequence():
+    message = make_message()
+    flit = message.make_flits()[1]
+    assert str(message.message_id) in repr(flit)
+    assert "seq=1" in repr(flit)

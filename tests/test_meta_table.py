@@ -1,0 +1,97 @@
+"""Tests for two-level meta-table (hierarchical) routing."""
+
+import pytest
+
+from repro.network.topology import MeshTopology, port_for
+from repro.tables.full_table import FullRoutingTable
+from repro.tables.mappings import BlockClusterMapping, RowClusterMapping
+from repro.tables.meta_table import MetaRoutingTable
+
+EAST = port_for(0, True)
+WEST = port_for(0, False)
+NORTH = port_for(1, True)
+SOUTH = port_for(1, False)
+
+
+@pytest.fixture
+def mesh():
+    return MeshTopology((8, 8))
+
+
+@pytest.fixture
+def block_table(mesh):
+    return MetaRoutingTable(mesh, BlockClusterMapping(mesh, block_dims=(4, 4)))
+
+
+@pytest.fixture
+def row_table(mesh):
+    return MetaRoutingTable(mesh, RowClusterMapping(mesh))
+
+
+def test_entry_count(mesh, block_table, row_table):
+    # Block mapping: 16 sub-cluster entries + 3 remote-cluster entries.
+    assert block_table.entries_per_router() == 16 + 3
+    # Row mapping: 8 sub-cluster entries + 7 remote-cluster entries.
+    assert row_table.entries_per_router() == 8 + 7
+    assert block_table.num_routers() == mesh.num_nodes
+
+
+def test_meta_table_is_smaller_than_full_table(mesh, block_table, row_table):
+    full = FullRoutingTable(mesh)
+    assert block_table.entries_per_router() < full.entries_per_router()
+    assert row_table.entries_per_router() < full.entries_per_router()
+
+
+def test_intra_cluster_routing_keeps_full_adaptivity(mesh, block_table):
+    # Both nodes in the south-west 4x4 block.
+    source = mesh.node_id((0, 0))
+    destination = mesh.node_id((3, 3))
+    assert set(block_table.lookup(source, destination)) == {EAST, NORTH}
+
+
+def test_remote_diagonal_cluster_keeps_both_directions(mesh, block_table):
+    # From the south-west block toward the north-east block both +X and +Y
+    # are productive for every member of the destination cluster.
+    source = mesh.node_id((1, 1))
+    destination = mesh.node_id((6, 6))
+    assert set(block_table.lookup(source, destination)) == {EAST, NORTH}
+
+
+def test_aligned_cluster_loses_adaptivity(mesh, block_table):
+    # From the south-east block toward the north-east block (directly
+    # north): the single cluster entry can only name +Y, which is the
+    # adaptivity loss responsible for the paper's Table 4 congestion.
+    source = mesh.node_id((5, 1))
+    destination = mesh.node_id((6, 6))
+    assert set(block_table.lookup(source, destination)) == {NORTH}
+    assert set(mesh.minimal_ports(source, destination)) == {EAST, NORTH}
+
+
+def test_row_mapping_degenerates_to_dimension_order(mesh, row_table):
+    # Remote cluster (different row): only the Y direction is available.
+    source = mesh.node_id((2, 1))
+    destination = mesh.node_id((6, 5))
+    assert set(row_table.lookup(source, destination)) == {NORTH}
+    # Same row: only the X direction remains.
+    same_row = mesh.node_id((6, 1))
+    assert set(row_table.lookup(source, same_row)) == {EAST}
+
+
+def test_lookup_ports_are_always_productive(mesh, block_table, row_table):
+    for table in (block_table, row_table):
+        for source in range(0, mesh.num_nodes, 3):
+            for destination in range(0, mesh.num_nodes, 5):
+                ports = table.lookup(source, destination)
+                assert ports
+                assert set(ports) <= set(mesh.minimal_ports(source, destination))
+
+
+def test_direct_entry_accessors(mesh, block_table):
+    node = mesh.node_id((1, 1))
+    mapping = block_table.mapping
+    own_cluster = mapping.cluster_of(node)
+    for cluster in range(mapping.num_clusters):
+        if cluster == own_cluster:
+            continue
+        assert block_table.cluster_entry(node, cluster)
+    assert block_table.intra_entry(node, mapping.subcluster_of(node))

@@ -1,0 +1,74 @@
+"""Tests for the network assembly (routers + interfaces + links)."""
+
+import pytest
+
+from repro.network.link import Link
+from repro.network.network import Network
+from repro.network.topology import LOCAL_PORT, MeshTopology
+from repro.router.config import RouterConfig
+from repro.routing.duato import DuatoFullyAdaptiveRouting
+from repro.selection.heuristics import StaticDimensionOrderSelector
+from repro.stats.collector import StatsCollector
+from repro.tables.economical import EconomicalStorageTable
+
+
+@pytest.fixture
+def network():
+    topology = MeshTopology((3, 3))
+    table = EconomicalStorageTable(topology)
+    routing = DuatoFullyAdaptiveRouting(topology, table)
+    return Network(
+        topology=topology,
+        router_config=RouterConfig(),
+        routing=routing,
+        selector_factory=lambda node: StaticDimensionOrderSelector(),
+        stats=StatsCollector(),
+        sources=None,
+    )
+
+
+def test_one_router_and_interface_per_node(network):
+    assert len(network.routers) == 9
+    assert len(network.interfaces) == 9
+    for node in range(9):
+        assert network.router(node).node_id == node
+        assert network.interface(node).node_id == node
+
+
+def test_components_order_routers_then_interfaces(network):
+    components = network.components()
+    assert len(components) == 18
+    assert components[:9] == network.routers
+    assert components[9:] == network.interfaces
+
+
+def test_every_network_link_is_described(network):
+    # A 3x3 mesh has 2 * (2*3 + 2*3) = 24 unidirectional links.
+    assert len(network.links) == 24
+    for link in network.links:
+        assert isinstance(link, Link)
+        assert network.topology.neighbor(link.source, link.source_port) == link.destination
+
+
+def test_router_ports_connected_according_to_topology(network):
+    topology = network.topology
+    for node in range(topology.num_nodes):
+        router = network.router(node)
+        assert router.output_port(LOCAL_PORT).connected
+        for port in range(1, topology.radix):
+            expected = topology.neighbor(node, port) is not None
+            assert router.output_port(port).connected == expected
+
+
+def test_fresh_network_is_idle(network):
+    assert network.is_idle()
+
+
+def test_link_descriptor_validation():
+    with pytest.raises(ValueError):
+        Link(source=1, source_port=1, destination=1, destination_port=2)
+    with pytest.raises(ValueError):
+        Link(source=1, source_port=1, destination=2, destination_port=2, delay=0)
+    link = Link(source=1, source_port=1, destination=2, destination_port=2)
+    assert link.reversed().source == 2
+    assert link.reversed().destination == 1

@@ -1,0 +1,146 @@
+"""Tests for the synthetic traffic patterns."""
+
+import random
+
+import pytest
+
+from repro.network.topology import MeshTopology
+from repro.traffic.patterns import (
+    BitComplementPattern,
+    BitReversalPattern,
+    HotspotPattern,
+    NearestNeighborPattern,
+    PerfectShufflePattern,
+    TornadoPattern,
+    TransposePattern,
+    UniformPattern,
+    make_pattern,
+)
+
+
+@pytest.fixture
+def mesh():
+    return MeshTopology((4, 4))
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)
+
+
+def test_uniform_never_targets_self_and_covers_all_nodes(mesh, rng):
+    pattern = UniformPattern(mesh)
+    seen = set()
+    for _ in range(2000):
+        destination = pattern.destination(5, rng)
+        assert destination != 5
+        assert 0 <= destination < mesh.num_nodes
+        seen.add(destination)
+    assert seen == set(range(mesh.num_nodes)) - {5}
+
+
+def test_uniform_is_roughly_balanced(mesh, rng):
+    pattern = UniformPattern(mesh)
+    counts = {node: 0 for node in range(mesh.num_nodes)}
+    samples = 6000
+    for _ in range(samples):
+        counts[pattern.destination(0, rng)] += 1
+    expected = samples / (mesh.num_nodes - 1)
+    for node, count in counts.items():
+        if node == 0:
+            assert count == 0
+        else:
+            assert abs(count - expected) < 0.5 * expected
+
+
+def test_transpose_swaps_coordinates(mesh, rng):
+    pattern = TransposePattern(mesh)
+    source = mesh.node_id((3, 1))
+    assert pattern.destination(source, rng) == mesh.node_id((1, 3))
+
+
+def test_transpose_diagonal_nodes_do_not_inject(mesh, rng):
+    pattern = TransposePattern(mesh)
+    diagonal = mesh.node_id((2, 2))
+    assert pattern.destination(diagonal, rng) is None
+
+
+def test_transpose_requires_square_mesh():
+    with pytest.raises(ValueError):
+        TransposePattern(MeshTopology((4, 2)))
+
+
+def test_bit_reversal_is_an_involution(mesh, rng):
+    pattern = BitReversalPattern(mesh)
+    for source in range(mesh.num_nodes):
+        destination = pattern.destination(source, rng)
+        if destination is None:
+            continue
+        # Applying the reversal twice returns to the source.
+        assert pattern.destination(destination, rng) == source
+
+
+def test_bit_reversal_known_value(mesh, rng):
+    pattern = BitReversalPattern(mesh)
+    # 4 bits: 0b0001 -> 0b1000.
+    assert pattern.destination(1, rng) == 8
+
+
+def test_shuffle_rotates_address_left(mesh, rng):
+    pattern = PerfectShufflePattern(mesh)
+    # 4 bits: 0b0110 -> 0b1100, 0b1001 -> 0b0011.
+    assert pattern.destination(6, rng) == 12
+    assert pattern.destination(9, rng) == 3
+
+
+def test_bit_complement_inverts_bits(mesh, rng):
+    pattern = BitComplementPattern(mesh)
+    assert pattern.destination(0, rng) == 15
+    assert pattern.destination(5, rng) == 10
+
+
+def test_bit_patterns_need_power_of_two_nodes(rng):
+    mesh = MeshTopology((3, 3))
+    with pytest.raises(ValueError):
+        BitReversalPattern(mesh)
+    with pytest.raises(ValueError):
+        PerfectShufflePattern(mesh)
+
+
+def test_tornado_moves_half_way(mesh, rng):
+    pattern = TornadoPattern(mesh)
+    destination = pattern.destination(mesh.node_id((0, 0)), rng)
+    assert destination == mesh.node_id((1, 1))
+
+
+def test_nearest_neighbor_wraps(mesh, rng):
+    pattern = NearestNeighborPattern(mesh)
+    assert pattern.destination(mesh.node_id((1, 2)), rng) == mesh.node_id((2, 2))
+    assert pattern.destination(mesh.node_id((3, 2)), rng) == mesh.node_id((0, 2))
+
+
+def test_hotspot_sends_extra_traffic_to_hotspot(mesh, rng):
+    pattern = HotspotPattern(mesh, hotspot=7, fraction=0.5)
+    hits = sum(1 for _ in range(4000) if pattern.destination(0, rng) == 7)
+    # 50% directed traffic plus the uniform share (~1/15 of the rest).
+    assert 0.45 * 4000 < hits < 0.62 * 4000
+
+
+def test_hotspot_rejects_invalid_fraction(mesh):
+    with pytest.raises(ValueError):
+        HotspotPattern(mesh, fraction=1.5)
+
+
+def test_make_pattern_by_name(mesh):
+    assert isinstance(make_pattern("uniform", mesh), UniformPattern)
+    assert isinstance(make_pattern("transpose", mesh), TransposePattern)
+    with pytest.raises(ValueError):
+        make_pattern("not-a-pattern", mesh)
+
+
+def test_paper_patterns_available_for_16x16():
+    mesh = MeshTopology((16, 16))
+    for name in ("uniform", "transpose", "bit-reversal", "shuffle"):
+        pattern = make_pattern(name, mesh)
+        destination = pattern.destination(1, random.Random(0))
+        assert destination is None or 0 <= destination < 256

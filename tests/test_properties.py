@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the data structures whose correctness the whole simulation
+rests on: topology geometry, the sign-indexed economical-storage table,
+turn-model providers, the round-robin arbiter, interval routing and the
+streaming statistics accumulator.
+"""
+
+import statistics
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.topology import LOCAL_PORT, MeshTopology, TorusTopology, port_direction
+from repro.router.arbiter import RoundRobinArbiter
+from repro.routing.providers import (
+    minimal_adaptive_provider,
+    negative_first_provider,
+    north_last_provider,
+    west_first_provider,
+)
+from repro.stats.latency import RunningStats
+from repro.tables.economical import EconomicalStorageTable
+from repro.tables.interval import IntervalRoutingTable
+from repro.traffic.message import Message
+
+# Keep the generated networks small so each example stays fast.
+mesh_dims = st.tuples(st.integers(2, 6), st.integers(2, 6))
+three_d_dims = st.tuples(st.integers(2, 4), st.integers(2, 4), st.integers(2, 3))
+
+
+@settings(max_examples=30, deadline=None)
+@given(dims=mesh_dims, data=st.data())
+def test_mesh_coordinates_round_trip_and_distance_symmetry(dims, data):
+    mesh = MeshTopology(dims)
+    a = data.draw(st.integers(0, mesh.num_nodes - 1))
+    b = data.draw(st.integers(0, mesh.num_nodes - 1))
+    assert mesh.node_id(mesh.coordinates(a)) == a
+    assert mesh.distance(a, b) == mesh.distance(b, a)
+    assert (mesh.distance(a, b) == 0) == (a == b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dims=mesh_dims, data=st.data())
+def test_minimal_ports_reduce_distance(dims, data):
+    mesh = MeshTopology(dims)
+    a = data.draw(st.integers(0, mesh.num_nodes - 1))
+    b = data.draw(st.integers(0, mesh.num_nodes - 1))
+    ports = mesh.minimal_ports(a, b)
+    if a == b:
+        assert ports == (LOCAL_PORT,)
+        return
+    for port in ports:
+        neighbor = mesh.neighbor(a, port)
+        assert neighbor is not None
+        assert mesh.distance(neighbor, b) == mesh.distance(a, b) - 1
+    # Dimension-order routing always picks one of the minimal ports.
+    assert mesh.dimension_order_port(a, b) in ports
+
+
+@settings(max_examples=20, deadline=None)
+@given(dims=mesh_dims, data=st.data())
+def test_torus_minimal_ports_reduce_distance(dims, data):
+    torus = TorusTopology(dims)
+    a = data.draw(st.integers(0, torus.num_nodes - 1))
+    b = data.draw(st.integers(0, torus.num_nodes - 1))
+    if a == b:
+        return
+    for port in torus.minimal_ports(a, b):
+        neighbor = torus.neighbor(a, port)
+        assert torus.distance(neighbor, b) == torus.distance(a, b) - 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(dims=st.one_of(mesh_dims, three_d_dims), data=st.data())
+def test_economical_table_matches_minimal_provider(dims, data):
+    mesh = MeshTopology(dims)
+    table = EconomicalStorageTable(mesh)
+    provider = minimal_adaptive_provider(mesh)
+    a = data.draw(st.integers(0, mesh.num_nodes - 1))
+    b = data.draw(st.integers(0, mesh.num_nodes - 1))
+    assert set(table.lookup(a, b)) == set(provider(a, b))
+    assert table.entries_per_router() == 3 ** mesh.n_dims
+
+
+@settings(max_examples=20, deadline=None)
+@given(dims=mesh_dims, data=st.data())
+def test_turn_model_providers_subset_of_minimal_and_nonempty(dims, data):
+    mesh = MeshTopology(dims)
+    adaptive = minimal_adaptive_provider(mesh)
+    providers = [
+        north_last_provider(mesh),
+        west_first_provider(mesh),
+        negative_first_provider(mesh),
+    ]
+    a = data.draw(st.integers(0, mesh.num_nodes - 1))
+    b = data.draw(st.integers(0, mesh.num_nodes - 1))
+    for provider in providers:
+        permitted = provider(a, b)
+        assert permitted
+        assert set(permitted) <= set(adaptive(a, b))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_slots=st.integers(1, 8),
+    request_sets=st.lists(st.lists(st.integers(0, 7), max_size=8), min_size=1, max_size=50),
+)
+def test_arbiter_grants_are_always_valid_requests(num_slots, request_sets):
+    arbiter = RoundRobinArbiter(num_slots)
+    for raw_requests in request_sets:
+        requests = [slot for slot in raw_requests if slot < num_slots]
+        grant = arbiter.grant(requests)
+        if requests:
+            assert grant in requests
+        else:
+            assert grant is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(num_slots=st.integers(2, 6), rounds=st.integers(10, 60))
+def test_arbiter_is_fair_under_full_load(num_slots, rounds):
+    arbiter = RoundRobinArbiter(num_slots)
+    counts = [0] * num_slots
+    for _ in range(rounds * num_slots):
+        counts[arbiter.grant(list(range(num_slots)))] += 1
+    assert max(counts) - min(counts) <= 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(dims=mesh_dims, data=st.data())
+def test_interval_routing_delivers_every_message(dims, data):
+    mesh = MeshTopology(dims)
+    table = IntervalRoutingTable(mesh)
+    source = data.draw(st.integers(0, mesh.num_nodes - 1))
+    destination = data.draw(st.integers(0, mesh.num_nodes - 1))
+    current = source
+    for _ in range(2 * mesh.num_nodes + 1):
+        if current == destination:
+            break
+        (port,) = table.lookup(current, destination)
+        current = mesh.neighbor(current, port)
+        assert current is not None
+    assert current == destination
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+def test_running_stats_matches_statistics_module(values):
+    stats = RunningStats()
+    for value in values:
+        stats.add(value)
+    assert stats.count == len(values)
+    assert stats.mean == statistics.fmean(values) or abs(
+        stats.mean - statistics.fmean(values)
+    ) < 1e-6 * max(1.0, abs(statistics.fmean(values)))
+    expected_std = statistics.stdev(values) if len(values) > 1 else 0.0
+    assert abs(stats.std - expected_std) < 1e-6 * max(1.0, expected_std)
+    assert stats.minimum == min(values)
+    assert stats.maximum == max(values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(length=st.integers(1, 64))
+def test_message_flit_decomposition_properties(length):
+    message = Message(source=0, destination=3, length=length, creation_cycle=0)
+    flits = message.make_flits()
+    assert len(flits) == length
+    assert flits[0].is_head
+    assert flits[-1].is_tail
+    assert sum(1 for flit in flits if flit.is_head) == 1
+    assert sum(1 for flit in flits if flit.is_tail) == 1
+    assert [flit.sequence for flit in flits] == list(range(length))
+
+
+@settings(max_examples=20, deadline=None)
+@given(port=st.integers(1, 9))
+def test_port_direction_round_trip(port):
+    dimension, sign = port_direction(port)
+    from repro.network.topology import port_for
+
+    assert port_for(dimension, positive=(sign > 0)) == port

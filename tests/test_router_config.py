@@ -1,0 +1,40 @@
+"""Tests for the router configuration record."""
+
+import pytest
+
+from repro.router.config import RouterConfig
+from repro.router.pipeline import LA_PROUD, PROUD
+
+
+def test_defaults_match_the_paper_router():
+    config = RouterConfig()
+    assert config.vcs_per_port == 4
+    assert config.buffer_depth == 5
+    assert config.pipeline.name == "proud"
+    assert config.link_delay == 1
+    assert config.credit_delay == 1
+
+
+def test_with_pipeline_creates_a_modified_copy():
+    base = RouterConfig(pipeline=PROUD)
+    lookahead = base.with_pipeline(LA_PROUD)
+    assert lookahead.pipeline is LA_PROUD
+    assert base.pipeline is PROUD
+    assert lookahead.vcs_per_port == base.vcs_per_port
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RouterConfig(vcs_per_port=0)
+    with pytest.raises(ValueError):
+        RouterConfig(buffer_depth=0)
+    with pytest.raises(ValueError):
+        RouterConfig(link_delay=0)
+    with pytest.raises(ValueError):
+        RouterConfig(credit_delay=0)
+
+
+def test_config_is_immutable():
+    config = RouterConfig()
+    with pytest.raises(Exception):
+        config.vcs_per_port = 8  # type: ignore[misc]

@@ -1,0 +1,122 @@
+"""Tests for the routing algorithms (dimension-order, Duato, turn model)."""
+
+import pytest
+
+from repro.network.topology import LOCAL_PORT, MeshTopology, TorusTopology, port_for
+from repro.routing.base import RouteDecision, VirtualChannelClasses
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.routing.duato import DuatoFullyAdaptiveRouting
+from repro.routing.turn_model import TurnModelRouting
+from repro.tables.economical import EconomicalStorageTable
+from repro.tables.full_table import FullRoutingTable
+
+EAST = port_for(0, True)
+NORTH = port_for(1, True)
+
+
+@pytest.fixture
+def mesh():
+    return MeshTopology((4, 4))
+
+
+def test_route_decision_all_ports_deduplicates():
+    decision = RouteDecision(adaptive_ports=(1, 3), escape_port=1)
+    assert decision.all_ports == (1, 3)
+    decision = RouteDecision(adaptive_ports=(3,), escape_port=1)
+    assert decision.all_ports == (3, 1)
+
+
+def test_vc_classes_reject_overlap():
+    with pytest.raises(ValueError):
+        VirtualChannelClasses(adaptive_vcs=(0, 1), escape_vcs=(1,))
+
+
+def test_dimension_order_decision_and_classes(mesh):
+    algorithm = DimensionOrderRouting(mesh)
+    origin = mesh.node_id((1, 1))
+    decision = algorithm.decide(origin, mesh.node_id((3, 3)))
+    assert decision.adaptive_ports == (EAST,)
+    assert decision.escape_port == EAST
+    classes = algorithm.vc_classes(4)
+    assert classes.adaptive_vcs == (0, 1, 2, 3)
+    assert classes.escape_vcs == ()
+
+
+def test_dimension_order_rejects_torus():
+    with pytest.raises(ValueError):
+        DimensionOrderRouting(TorusTopology((4, 4)))
+
+
+def test_duato_classes_reserve_escape_channels(mesh):
+    table = EconomicalStorageTable(mesh)
+    algorithm = DuatoFullyAdaptiveRouting(mesh, table, num_escape_vcs=1)
+    classes = algorithm.vc_classes(4)
+    assert classes.escape_vcs == (0,)
+    assert classes.adaptive_vcs == (1, 2, 3)
+    assert algorithm.min_virtual_channels == 2
+
+
+def test_duato_requires_enough_vcs(mesh):
+    table = EconomicalStorageTable(mesh)
+    algorithm = DuatoFullyAdaptiveRouting(mesh, table)
+    with pytest.raises(ValueError):
+        algorithm.vc_classes(1)
+
+
+def test_duato_decision_combines_table_and_escape(mesh):
+    table = EconomicalStorageTable(mesh)
+    algorithm = DuatoFullyAdaptiveRouting(mesh, table)
+    origin = mesh.node_id((1, 1))
+    decision = algorithm.decide(origin, mesh.node_id((3, 3)))
+    assert set(decision.adaptive_ports) == {EAST, NORTH}
+    assert decision.escape_port == EAST  # dimension-order goes X first
+    local = algorithm.decide(origin, origin)
+    assert local.adaptive_ports == (LOCAL_PORT,)
+    assert local.escape_port == LOCAL_PORT
+
+
+def test_duato_with_full_table_matches_economical(mesh):
+    economical = DuatoFullyAdaptiveRouting(mesh, EconomicalStorageTable(mesh))
+    full = DuatoFullyAdaptiveRouting(mesh, FullRoutingTable(mesh))
+    for source in range(mesh.num_nodes):
+        for destination in range(mesh.num_nodes):
+            a = economical.decide(source, destination)
+            b = full.decide(source, destination)
+            assert set(a.adaptive_ports) == set(b.adaptive_ports)
+            assert a.escape_port == b.escape_port
+
+
+def test_duato_rejects_torus_and_zero_escape(mesh):
+    with pytest.raises(ValueError):
+        DuatoFullyAdaptiveRouting(TorusTopology((4, 4)), EconomicalStorageTable(mesh))
+    with pytest.raises(ValueError):
+        DuatoFullyAdaptiveRouting(mesh, EconomicalStorageTable(mesh), num_escape_vcs=0)
+
+
+def test_turn_model_routing_decisions(mesh):
+    algorithm = TurnModelRouting(mesh, model="north-last")
+    origin = mesh.node_id((1, 1))
+    decision = algorithm.decide(origin, mesh.node_id((3, 3)))
+    assert decision.adaptive_ports == (EAST,)
+    assert decision.escape_port == EAST
+    assert algorithm.min_virtual_channels == 1
+    classes = algorithm.vc_classes(2)
+    assert classes.escape_vcs == ()
+
+
+def test_turn_model_with_programmed_table(mesh):
+    from repro.routing.providers import north_last_provider
+
+    table = EconomicalStorageTable(mesh, provider=north_last_provider(mesh))
+    direct = TurnModelRouting(mesh, model="north-last")
+    tabled = TurnModelRouting(mesh, model="north-last", table=table)
+    for source in range(mesh.num_nodes):
+        for destination in range(mesh.num_nodes):
+            assert set(direct.decide(source, destination).adaptive_ports) == set(
+                tabled.decide(source, destination).adaptive_ports
+            )
+
+
+def test_turn_model_rejects_unknown_model(mesh):
+    with pytest.raises(ValueError):
+        TurnModelRouting(mesh, model="east-last")

@@ -1,0 +1,106 @@
+"""Tests for the routing-relation providers (minimal adaptive, XY, turn models)."""
+
+import pytest
+
+from repro.network.topology import LOCAL_PORT, MeshTopology, port_for
+from repro.routing.providers import (
+    dimension_order_provider,
+    minimal_adaptive_provider,
+    negative_first_provider,
+    north_last_provider,
+    west_first_provider,
+)
+
+EAST = port_for(0, True)
+WEST = port_for(0, False)
+NORTH = port_for(1, True)
+SOUTH = port_for(1, False)
+
+
+@pytest.fixture
+def mesh():
+    return MeshTopology((4, 4))
+
+
+def test_minimal_adaptive_gives_all_productive_ports(mesh):
+    provider = minimal_adaptive_provider(mesh)
+    origin = mesh.node_id((1, 1))
+    assert set(provider(origin, mesh.node_id((3, 3)))) == {EAST, NORTH}
+    assert set(provider(origin, mesh.node_id((0, 0)))) == {WEST, SOUTH}
+    assert provider(origin, origin) == (LOCAL_PORT,)
+
+
+def test_dimension_order_gives_single_port(mesh):
+    provider = dimension_order_provider(mesh)
+    origin = mesh.node_id((1, 1))
+    assert provider(origin, mesh.node_id((3, 3))) == (EAST,)
+    assert provider(origin, mesh.node_id((1, 0))) == (SOUTH,)
+    assert provider(origin, origin) == (LOCAL_PORT,)
+
+
+def test_north_last_denies_north_while_x_remains(mesh):
+    provider = north_last_provider(mesh)
+    origin = mesh.node_id((1, 1))
+    # Destination to the north-east: +Y must wait until X is corrected.
+    assert provider(origin, mesh.node_id((3, 3))) == (EAST,)
+    # Destination straight north: only +Y remains and it is allowed.
+    assert provider(origin, mesh.node_id((1, 3))) == (NORTH,)
+    # Destinations to the south keep full adaptivity.
+    assert set(provider(origin, mesh.node_id((0, 0)))) == {WEST, SOUTH}
+
+
+def test_north_last_matches_paper_figure7(mesh3x3=None):
+    # The paper's Fig. 7(d): router (1,1) of a 3x3 mesh.  Entries for the
+    # two northern quadrants lose the +Y option; all others keep the full
+    # candidate set.
+    mesh = MeshTopology((3, 3))
+    provider = north_last_provider(mesh)
+    node = mesh.node_id((1, 1))
+    adaptive = minimal_adaptive_provider(mesh)
+    for destination in range(mesh.num_nodes):
+        signs = mesh.relative_signs(node, destination)
+        permitted = set(provider(node, destination))
+        candidates = set(adaptive(node, destination))
+        if signs[0] != 0 and signs[1] > 0:
+            assert permitted == candidates - {NORTH}
+        else:
+            assert permitted == candidates
+
+
+def test_west_first_forces_west_first(mesh):
+    provider = west_first_provider(mesh)
+    origin = mesh.node_id((2, 2))
+    # A westward correction pending: only -X allowed.
+    assert provider(origin, mesh.node_id((0, 3))) == (WEST,)
+    # No westward correction: fully adaptive.
+    assert set(provider(origin, mesh.node_id((3, 3)))) == {EAST, NORTH}
+
+
+def test_negative_first_orders_negative_hops_first(mesh):
+    provider = negative_first_provider(mesh)
+    origin = mesh.node_id((2, 1))
+    # Needs -X and +Y: the positive direction must wait.
+    assert provider(origin, mesh.node_id((0, 3))) == (WEST,)
+    # Only positive directions needed: fully adaptive.
+    assert set(provider(origin, mesh.node_id((3, 3)))) == {EAST, NORTH}
+    # Only negative directions needed: fully adaptive among them.
+    assert set(provider(origin, mesh.node_id((0, 0)))) == {WEST, SOUTH}
+
+
+def test_turn_models_reject_non_2d_meshes():
+    line_mesh = MeshTopology((4, 4, 2))
+    with pytest.raises(ValueError):
+        north_last_provider(line_mesh)
+    with pytest.raises(ValueError):
+        west_first_provider(line_mesh)
+
+
+def test_providers_always_return_productive_ports(mesh):
+    adaptive = minimal_adaptive_provider(mesh)
+    for provider_factory in (north_last_provider, west_first_provider, negative_first_provider):
+        provider = provider_factory(mesh)
+        for source in range(mesh.num_nodes):
+            for destination in range(mesh.num_nodes):
+                permitted = provider(source, destination)
+                assert permitted
+                assert set(permitted) <= set(adaptive(source, destination))

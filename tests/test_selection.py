@@ -1,0 +1,125 @@
+"""Tests for the path-selection heuristics."""
+
+import random
+
+import pytest
+
+from repro.selection.base import OutputPortStatus
+from repro.selection.heuristics import (
+    SELECTOR_NAMES,
+    FirstFreeSelector,
+    LeastFrequentlyUsedSelector,
+    LeastRecentlyUsedSelector,
+    MaxCreditSelector,
+    MinMuxSelector,
+    RandomSelector,
+    StaticDimensionOrderSelector,
+    make_selector,
+)
+
+
+def status(port, dimension=None, usage=0, last_used=-1, credits=10, busy=0, free=1):
+    if dimension is None:
+        dimension = (port - 1) // 2
+    return OutputPortStatus(
+        port=port,
+        dimension=dimension,
+        usage_count=usage,
+        last_used_cycle=last_used,
+        total_credits=credits,
+        busy_vcs=busy,
+        free_vcs=free,
+    )
+
+
+EAST = status(1)
+NORTH = status(3)
+
+
+def test_static_xy_prefers_lower_dimension():
+    selector = StaticDimensionOrderSelector()
+    assert selector.select([NORTH, EAST]) == 1
+    assert selector.select([NORTH]) == 3
+
+
+def test_first_free_takes_the_first_candidate():
+    selector = FirstFreeSelector()
+    assert selector.select([NORTH, EAST]) == 3
+
+
+def test_random_selector_is_reproducible_and_covers_candidates():
+    selector = RandomSelector(random.Random(3))
+    picks = {selector.select([EAST, NORTH]) for _ in range(100)}
+    assert picks == {1, 3}
+
+
+def test_min_mux_prefers_least_multiplexed_channel():
+    selector = MinMuxSelector()
+    busy_east = status(1, busy=3)
+    quiet_north = status(3, busy=1)
+    assert selector.select([busy_east, quiet_north]) == 3
+    # Ties fall back to the static order (X first).
+    assert selector.select([status(1, busy=2), status(3, busy=2)]) == 1
+
+
+def test_lfu_uses_recorded_usage_counts():
+    selector = LeastFrequentlyUsedSelector()
+    for _ in range(5):
+        selector.record_use(1, cycle=10)
+    selector.record_use(3, cycle=12)
+    assert selector.select([EAST, NORTH]) == 3
+    # After the North port accumulates more use, East wins again.
+    for _ in range(10):
+        selector.record_use(3, cycle=20)
+    assert selector.select([EAST, NORTH]) == 1
+
+
+def test_lfu_breaks_ties_statically():
+    selector = LeastFrequentlyUsedSelector()
+    assert selector.select([NORTH, EAST]) == 1
+
+
+def test_lru_prefers_the_port_used_farthest_in_the_past():
+    selector = LeastRecentlyUsedSelector()
+    selector.record_use(1, cycle=100)
+    selector.record_use(3, cycle=50)
+    assert selector.select([EAST, NORTH]) == 3
+    selector.record_use(3, cycle=200)
+    assert selector.select([EAST, NORTH]) == 1
+
+
+def test_lru_never_used_ports_win():
+    selector = LeastRecentlyUsedSelector()
+    selector.record_use(1, cycle=5)
+    assert selector.select([EAST, NORTH]) == 3
+
+
+def test_max_credit_prefers_most_downstream_space():
+    selector = MaxCreditSelector()
+    starved_east = status(1, credits=2)
+    roomy_north = status(3, credits=15)
+    assert selector.select([starved_east, roomy_north]) == 3
+    assert selector.select([status(1, credits=7), status(3, credits=7)]) == 1
+
+
+def test_selectors_return_a_candidate_port():
+    candidates = [status(1), status(3), status(4)]
+    for name in SELECTOR_NAMES:
+        selector = make_selector(name, random.Random(0))
+        assert selector.select(candidates) in {1, 3, 4}
+
+
+def test_make_selector_rejects_unknown_names():
+    with pytest.raises(ValueError):
+        make_selector("best-effort")
+
+
+def test_selector_names_cover_the_paper_heuristics():
+    for name in ("static-xy", "min-mux", "lfu", "lru", "max-credit"):
+        assert name in SELECTOR_NAMES
+
+
+def test_record_use_default_is_a_no_op():
+    selector = StaticDimensionOrderSelector()
+    selector.record_use(1, cycle=3)  # must not raise
+    assert selector.select([EAST]) == 1

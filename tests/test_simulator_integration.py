@@ -1,0 +1,156 @@
+"""End-to-end integration tests of the full simulator.
+
+These tests run complete (tiny) simulations and check system-level
+properties: message conservation, latency calibration against the analytic
+contention-free value, the look-ahead benefit, the equivalence of
+full-table and economical-storage routing, reproducibility and forward
+progress under load (deadlock freedom).
+"""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import NetworkSimulator, build_routing, build_table, build_topology
+
+
+def run(config):
+    return NetworkSimulator(config).run()
+
+
+@pytest.fixture(scope="module")
+def low_load_result():
+    return run(SimulationConfig.tiny(normalized_load=0.1, seed=5))
+
+
+def test_all_messages_generated_and_delivered(low_load_result):
+    summary = low_load_result.summary
+    assert summary.created == SimulationConfig.tiny().total_messages
+    assert summary.delivered == summary.created
+    assert summary.measured == SimulationConfig.tiny().measure_messages
+    assert summary.completion_ratio == pytest.approx(1.0)
+    assert not low_load_result.saturated
+
+
+def test_low_load_latency_is_close_to_zero_load_estimate(low_load_result):
+    latency = low_load_result.latency
+    zero_load = low_load_result.zero_load_latency
+    assert zero_load < latency < 1.5 * zero_load
+
+
+def test_average_hops_matches_average_distance(low_load_result):
+    topology = build_topology(low_load_result.config)
+    # The header is forwarded once per router it traverses, including the
+    # ejection through the destination router's local port.
+    expected = topology.average_distance() + 1.0
+    assert low_load_result.summary.avg_hops == pytest.approx(expected, rel=0.1)
+
+
+def test_lookahead_reduces_latency_at_low_load():
+    base = SimulationConfig.tiny(normalized_load=0.15, seed=7, routing="duato")
+    with_la = run(base.variant(pipeline="la-proud"))
+    without_la = run(base.variant(pipeline="proud"))
+    assert with_la.latency < without_la.latency
+    # One pipeline stage per hop: the gap should be substantial for the
+    # 4-flit messages of the tiny configuration (paper: 12-15% for 20 flits).
+    improvement = (without_la.latency - with_la.latency) / without_la.latency
+    assert improvement > 0.05
+
+
+def test_full_table_and_economical_storage_are_equivalent():
+    base = SimulationConfig.tiny(normalized_load=0.3, seed=11, routing="duato")
+    full = run(base.variant(table="full"))
+    economical = run(base.variant(table="economical"))
+    # The paper's claim: ES loses no routing flexibility, so the two runs
+    # make identical decisions and produce identical statistics.
+    assert economical.latency == pytest.approx(full.latency)
+    assert economical.summary.avg_hops == pytest.approx(full.summary.avg_hops)
+
+
+def test_adaptive_routing_beats_deterministic_on_transpose_at_load():
+    base = SimulationConfig(
+        mesh_dims=(4, 4),
+        message_length=4,
+        warmup_messages=50,
+        measure_messages=400,
+        traffic="transpose",
+        normalized_load=0.55,
+        seed=3,
+    )
+    adaptive = run(base.variant(routing="duato"))
+    deterministic = run(base.variant(routing="dimension-order"))
+    assert adaptive.latency < deterministic.latency
+
+
+def test_same_seed_is_reproducible_and_different_seed_differs():
+    base = SimulationConfig.tiny(normalized_load=0.2)
+    first = run(base.variant(seed=21))
+    second = run(base.variant(seed=21))
+    other = run(base.variant(seed=22))
+    assert first.latency == pytest.approx(second.latency)
+    assert first.summary.avg_hops == pytest.approx(second.summary.avg_hops)
+    assert first.latency != pytest.approx(other.latency)
+
+
+def test_forward_progress_under_heavy_load():
+    # Well beyond saturation, and with a cycle budget too small to drain the
+    # backlog, the network must still keep delivering messages (deadlock
+    # freedom) while the run is flagged as saturated.
+    config = SimulationConfig.tiny(
+        normalized_load=2.0, measure_messages=1500, seed=9, max_cycles=450
+    )
+    result = run(config)
+    assert result.summary.delivered > 200
+    assert result.saturated
+
+
+def test_every_selector_runs_and_delivers():
+    for selector in ("static-xy", "min-mux", "lfu", "lru", "max-credit", "random", "first-free"):
+        config = SimulationConfig.tiny(normalized_load=0.25, selector=selector, seed=13)
+        result = run(config)
+        assert result.summary.completion_ratio == pytest.approx(1.0), selector
+
+
+def test_turn_model_routing_end_to_end():
+    config = SimulationConfig.tiny(normalized_load=0.2, routing="north-last", seed=17)
+    result = run(config)
+    assert result.summary.completion_ratio == pytest.approx(1.0)
+
+
+def test_interval_table_routing_end_to_end():
+    config = SimulationConfig.tiny(
+        normalized_load=0.15, routing="duato", table="interval", seed=19
+    )
+    result = run(config)
+    assert result.summary.completion_ratio == pytest.approx(1.0)
+
+
+def test_meta_table_configurations_run(mesh_dims=(4, 4)):
+    for table in ("meta-row", "meta-block"):
+        config = SimulationConfig.tiny(normalized_load=0.2, table=table, seed=23)
+        result = run(config)
+        assert result.summary.completion_ratio == pytest.approx(1.0), table
+
+
+def test_bernoulli_injection_supported():
+    config = SimulationConfig.tiny(normalized_load=0.2, injection="bernoulli", seed=29)
+    result = run(config)
+    assert result.summary.completion_ratio == pytest.approx(1.0)
+
+
+def test_builders_reject_unknown_names():
+    config = SimulationConfig.tiny()
+    topology = build_topology(config)
+    with pytest.raises(ValueError):
+        build_table(config.variant(table="gigantic"), topology)
+    with pytest.raises(ValueError):
+        build_routing(config.variant(routing="chaotic"), topology, build_table(config, topology))
+    with pytest.raises(ValueError):
+        NetworkSimulator(config.variant(injection="bursty"))
+
+
+def test_torus_topology_with_turn_model_unsupported_combination():
+    # Dimension-order escape routing is mesh-only; the simulator must
+    # refuse the unsafe combination instead of silently deadlocking.
+    config = SimulationConfig.tiny(torus=True, routing="duato")
+    with pytest.raises(ValueError):
+        NetworkSimulator(config)

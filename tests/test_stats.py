@@ -1,0 +1,173 @@
+"""Tests for statistics collection, latency summaries and saturation."""
+
+import math
+
+import pytest
+
+from repro.stats.collector import StatsCollector
+from repro.stats.latency import LatencySummary, RunningStats
+from repro.stats.saturation import SaturationPolicy, is_saturated
+from repro.traffic.message import Message
+
+
+def delivered_message(creation, injection, ejection, length=4, hops=3):
+    message = Message(source=0, destination=1, length=length, creation_cycle=creation)
+    message.injection_cycle = injection
+    message.ejection_cycle = ejection
+    message.hops = hops
+    return message
+
+
+# -- RunningStats -----------------------------------------------------------------
+
+
+def test_running_stats_moments():
+    stats = RunningStats()
+    for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+        stats.add(value)
+    assert stats.count == 8
+    assert stats.mean == pytest.approx(5.0)
+    assert stats.std == pytest.approx(math.sqrt(32 / 7))
+    assert stats.minimum == 2.0
+    assert stats.maximum == 9.0
+
+
+def test_running_stats_empty_defaults():
+    stats = RunningStats()
+    assert stats.mean == 0.0
+    assert stats.std == 0.0
+    assert stats.minimum == 0.0
+    assert stats.maximum == 0.0
+
+
+def test_running_stats_percentiles_require_samples():
+    without = RunningStats()
+    without.add(1.0)
+    with pytest.raises(ValueError):
+        without.percentile(0.5)
+    with_samples = RunningStats(keep_samples=True)
+    for value in range(1, 101):
+        with_samples.add(float(value))
+    assert with_samples.percentile(0.0) == 1.0
+    assert with_samples.percentile(1.0) == 100.0
+    assert with_samples.percentile(0.5) == pytest.approx(50.0, abs=1.0)
+    with pytest.raises(ValueError):
+        with_samples.percentile(1.5)
+
+
+# -- StatsCollector ----------------------------------------------------------------
+
+
+def test_warmup_messages_are_excluded():
+    collector = StatsCollector(warmup_messages=2, measure_messages=2, num_nodes=4)
+    messages = [delivered_message(0, 1, 10 + index) for index in range(4)]
+    for message in messages:
+        collector.record_created(message)
+    for message in messages:
+        collector.record_delivered(message, message.ejection_cycle)
+    assert collector.created == 4
+    assert collector.delivered == 4
+    assert collector.measured_delivered == 2
+    summary = collector.summary(cycles=100)
+    # Only the last two messages (latencies 12 and 13) are measured.
+    assert summary.avg_total_latency == pytest.approx(12.5)
+
+
+def test_messages_beyond_measure_target_are_ignored():
+    collector = StatsCollector(warmup_messages=0, measure_messages=2)
+    messages = [delivered_message(0, 1, 5 + index) for index in range(4)]
+    for message in messages:
+        collector.record_created(message)
+    for message in messages:
+        collector.record_delivered(message, message.ejection_cycle)
+    assert collector.measured_delivered == 2
+    assert collector.all_measured_delivered()
+
+
+def test_unknown_messages_do_not_crash_the_collector():
+    collector = StatsCollector(warmup_messages=0, measure_messages=10)
+    stray = delivered_message(0, 1, 9)
+    collector.record_delivered(stray, 9)
+    assert collector.delivered == 1
+    assert collector.measured_delivered == 0
+
+
+def test_summary_reports_latency_network_latency_and_hops():
+    collector = StatsCollector(warmup_messages=0, measure_messages=3, num_nodes=2)
+    messages = [
+        delivered_message(0, 2, 20, hops=4),
+        delivered_message(0, 4, 30, hops=6),
+        delivered_message(10, 12, 40, hops=8),
+    ]
+    for message in messages:
+        collector.record_created(message)
+        collector.record_delivered(message, message.ejection_cycle)
+    summary = collector.summary(cycles=50)
+    assert summary.avg_total_latency == pytest.approx((20 + 30 + 30) / 3)
+    assert summary.avg_network_latency == pytest.approx((18 + 26 + 28) / 3)
+    assert summary.avg_hops == pytest.approx(6.0)
+    assert summary.measured == 3
+    assert summary.completion_ratio == pytest.approx(1.0)
+    assert summary.throughput > 0
+
+
+def test_completion_ratio_reflects_missing_messages():
+    collector = StatsCollector(warmup_messages=0, measure_messages=4)
+    message = delivered_message(0, 1, 9)
+    collector.record_created(message)
+    collector.record_delivered(message, 9)
+    summary = collector.summary(cycles=100)
+    assert summary.completion_ratio == pytest.approx(0.25)
+    assert not collector.all_measured_delivered()
+
+
+def test_summary_as_dict_round_trip():
+    summary = StatsCollector(warmup_messages=0, measure_messages=1).summary(cycles=10)
+    data = summary.as_dict()
+    assert data["cycles"] == 10
+    assert set(data) >= {"avg_total_latency", "throughput", "saturated"}
+
+
+# -- saturation policy ---------------------------------------------------------------
+
+
+def make_summary(latency=50.0, completion=1.0, measured=100):
+    return LatencySummary(
+        created=measured,
+        delivered=measured,
+        measured=measured,
+        avg_total_latency=latency,
+        avg_network_latency=latency - 2,
+        std_total_latency=1.0,
+        max_total_latency=latency * 2,
+        avg_hops=5.0,
+        throughput=0.1,
+        cycles=1000,
+        completion_ratio=completion,
+        saturated=False,
+    )
+
+
+def test_low_completion_is_saturated():
+    assert is_saturated(make_summary(completion=0.5), zero_load_latency=40.0)
+
+
+def test_exploded_latency_is_saturated():
+    policy = SaturationPolicy(latency_multiplier=10.0)
+    assert is_saturated(make_summary(latency=800.0), zero_load_latency=40.0, policy=policy)
+    assert not is_saturated(make_summary(latency=200.0), zero_load_latency=40.0, policy=policy)
+
+
+def test_zero_measured_messages_is_saturated():
+    assert is_saturated(make_summary(measured=0), zero_load_latency=40.0)
+
+
+def test_healthy_run_is_not_saturated():
+    assert not is_saturated(make_summary(latency=60.0), zero_load_latency=40.0)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        SaturationPolicy(min_completion_ratio=0.0)
+    with pytest.raises(ValueError):
+        SaturationPolicy(latency_multiplier=1.0)

@@ -1,0 +1,51 @@
+"""Tests for the torus topology (wraparound links)."""
+
+import pytest
+
+from repro.network.topology import TorusTopology, port_for
+
+
+def test_wrap_flag(torus4x4):
+    assert torus4x4.wraps is True
+
+
+def test_every_port_connected(torus4x4):
+    for node in range(torus4x4.num_nodes):
+        for port in range(1, torus4x4.radix):
+            assert torus4x4.neighbor(node, port) is not None
+
+
+def test_wraparound_neighbor(torus4x4):
+    east_edge = torus4x4.node_id((3, 1))
+    assert torus4x4.neighbor(east_edge, port_for(0, True)) == torus4x4.node_id((0, 1))
+    south_edge = torus4x4.node_id((2, 0))
+    assert torus4x4.neighbor(south_edge, port_for(1, False)) == torus4x4.node_id((2, 3))
+
+
+def test_distance_uses_shorter_way_around(torus4x4):
+    a = torus4x4.node_id((0, 0))
+    b = torus4x4.node_id((3, 0))
+    # Going -X wraps around in one hop instead of three.
+    assert torus4x4.distance(a, b) == 1
+    c = torus4x4.node_id((2, 2))
+    assert torus4x4.distance(a, c) == 4
+
+
+def test_relative_signs_follow_minimal_direction(torus4x4):
+    a = torus4x4.node_id((0, 0))
+    b = torus4x4.node_id((3, 0))
+    assert torus4x4.relative_signs(a, b) == (-1, 0)
+    # Exactly half way: ties break toward the positive direction.
+    c = torus4x4.node_id((2, 0))
+    assert torus4x4.relative_signs(a, c) == (1, 0)
+
+
+def test_torus_has_twice_the_bisection_of_a_mesh():
+    torus = TorusTopology((8, 8))
+    assert torus.bisection_channels() == 32
+    assert torus.saturation_flit_rate() == pytest.approx(1.0)
+
+
+def test_link_count(torus4x4):
+    # Every node has 4 outgoing network links on a 2-D torus.
+    assert len(list(torus4x4.links())) == 4 * torus4x4.num_nodes
