@@ -1,6 +1,6 @@
 """Command-line interface for the LAPSES reproduction.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 ``run``
     Simulate a single configuration and print its summary.
@@ -9,6 +9,14 @@ Three subcommands cover the common workflows:
 ``experiment``
     Regenerate one of the paper's tables/figures (figure5, table3,
     figure6, table4, table5, figure7) at a chosen scale.
+``campaign``
+    Run every paper experiment and print the Markdown report.
+
+Every simulation-backed subcommand accepts ``--workers N`` (simulate N
+points at a time on a process pool; default serial) and ``--cache-dir
+PATH`` (persist results as JSON keyed by the configuration hash, so
+repeated points are served from disk).  Results are bit-identical for any
+worker count because every simulation is seeded by its configuration.
 
 The console script ``lapses`` (installed with the package) and
 ``python -m repro.cli`` both dispatch to :func:`main`.
@@ -20,6 +28,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.core.campaign import run_campaign
 from repro.core.config import SimulationConfig
 from repro.core.experiments import (
     run_cost_table,
@@ -30,8 +39,8 @@ from repro.core.experiments import (
     run_table_storage_study,
 )
 from repro.core.results import format_rows
-from repro.core.simulator import NetworkSimulator
 from repro.core.sweep import run_load_sweep
+from repro.exec.backend import ExecutionBackend, make_backend
 from repro.selection.heuristics import SELECTOR_NAMES
 
 __all__ = ["build_parser", "main"]
@@ -61,6 +70,39 @@ def _parse_loads(text: str) -> List[float]:
         return [float(part) for part in text.split(",") if part]
     except ValueError:
         raise argparse.ArgumentTypeError(f"invalid load list {text!r}; expected e.g. 0.1,0.2")
+
+
+def _parse_patterns(text: str) -> List[str]:
+    patterns = [part.strip() for part in text.split(",") if part.strip()]
+    if not patterns:
+        raise argparse.ArgumentTypeError("expected at least one traffic pattern")
+    return patterns
+
+
+def _parse_workers(text: str) -> int:
+    try:
+        workers = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid worker count {text!r}")
+    if workers < 1:
+        raise argparse.ArgumentTypeError("worker count must be at least 1")
+    return workers
+
+
+def _add_exec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=_parse_workers, default=1, metavar="N",
+                        help="simulate N points in parallel on a process pool "
+                             "(default: 1 = serial; results are identical either way)")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="persist results as JSON under PATH keyed by the "
+                             "configuration hash; cached points are not re-simulated")
+
+
+def _backend_from_args(args: argparse.Namespace) -> ExecutionBackend:
+    try:
+        return make_backend(workers=args.workers, cache_dir=args.cache_dir)
+    except OSError as error:
+        raise SystemExit(f"lapses: cannot use cache directory {args.cache_dir!r}: {error}")
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -119,9 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="simulate one configuration")
     _add_config_arguments(run_parser)
+    _add_exec_arguments(run_parser)
 
     sweep_parser = subparsers.add_parser("sweep", help="latency-versus-load sweep")
     _add_config_arguments(sweep_parser)
+    _add_exec_arguments(sweep_parser)
     sweep_parser.add_argument("--loads", type=_parse_loads, default=[0.1, 0.2, 0.3, 0.4],
                               metavar="L1,L2,...", help="normalized loads to sweep")
 
@@ -133,19 +177,38 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("--scale", choices=sorted(_SCALES), default="tiny",
                                    help="simulation scale (default: tiny)")
     experiment_parser.add_argument("--seed", type=int, default=1, help="master random seed")
+    _add_exec_arguments(experiment_parser)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="run every paper experiment and print the Markdown report"
+    )
+    campaign_parser.add_argument("--scale", choices=sorted(_SCALES), default="tiny",
+                                 help="simulation scale (default: tiny)")
+    campaign_parser.add_argument("--seed", type=int, default=1, help="master random seed")
+    campaign_parser.add_argument("--loads", type=_parse_loads, default=[0.15, 0.4],
+                                 metavar="L1,L2,...",
+                                 help="(low, high) normalized loads for the latency experiments")
+    campaign_parser.add_argument("--patterns", type=_parse_patterns,
+                                 default=["uniform", "transpose"], metavar="P1,P2,...",
+                                 help="traffic patterns for the simulation-backed experiments")
+    campaign_parser.add_argument("--output", default=None, metavar="FILE",
+                                 help="also write the Markdown report to FILE")
+    _add_exec_arguments(campaign_parser)
     return parser
 
 
 def _command_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    result = NetworkSimulator(config).run()
+    with _backend_from_args(args) as backend:
+        result = backend.run_one(config)
     print(format_rows([result.as_dict()], precision=2))
     return 0
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    points = run_load_sweep(config, args.loads)
+    with _backend_from_args(args) as backend:
+        points = run_load_sweep(config, args.loads, backend=backend)
     rows = [
         {
             "load": point.normalized_load,
@@ -163,21 +226,62 @@ def _command_sweep(args: argparse.Namespace) -> int:
 def _command_experiment(args: argparse.Namespace) -> int:
     base = _SCALES[args.scale](seed=args.seed)
     name = args.name
-    if name == "figure5":
-        rows = run_lookahead_comparison(base)
-    elif name == "table3":
-        rows = run_message_length_study(base)
-    elif name == "figure6":
-        rows = run_path_selection_study(base)
-    elif name == "table4":
-        rows = run_table_storage_study(base, include_full_table=True)
-    elif name == "table5":
+    # table5 and figure7 are analytical: no simulations, so no backend (and
+    # no cache directory is created for them).
+    if name == "table5":
         rows = run_cost_table(num_nodes=base.num_nodes, n_dims=len(base.mesh_dims))
     elif name == "figure7":
         rows = run_es_programming_example()
-    else:  # pragma: no cover - argparse restricts the choices
-        raise ValueError(f"unknown experiment {name!r}")
+    else:
+        with _backend_from_args(args) as backend:
+            if name == "figure5":
+                rows = run_lookahead_comparison(base, backend=backend)
+            elif name == "table3":
+                rows = run_message_length_study(base, backend=backend)
+            elif name == "figure6":
+                rows = run_path_selection_study(base, backend=backend)
+            elif name == "table4":
+                rows = run_table_storage_study(
+                    base, include_full_table=True, backend=backend
+                )
+            else:  # pragma: no cover - argparse restricts the choices
+                raise ValueError(f"unknown experiment {name!r}")
     print(format_rows(rows, precision=2))
+    return 0
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    # run_campaign interprets the list as (low, high): table3 samples only
+    # the low load and figure6 only the high one, so more than two loads
+    # would silently produce mismatched grids across experiments.
+    if not 1 <= len(args.loads) <= 2:
+        raise SystemExit(
+            "lapses: campaign --loads expects one or two loads (low[,high]), "
+            f"got {len(args.loads)}"
+        )
+    base = _SCALES[args.scale](seed=args.seed)
+    with _backend_from_args(args) as backend:
+        report = run_campaign(
+            base,
+            loads_low_high=tuple(args.loads),
+            traffic_patterns=tuple(args.patterns),
+            backend=backend,
+        )
+        simulated = backend.simulations_run
+        cache = backend.cache
+    text = report.to_markdown()
+    # Print before writing: a bad --output path must not discard the report.
+    print(text)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as error:
+            raise SystemExit(f"lapses: cannot write report to {args.output!r}: {error}")
+    summary = f"campaign: {simulated} simulations run"
+    if cache is not None:
+        summary += f", {cache.hits} served from cache ({cache.cache_dir})"
+    print(summary, file=sys.stderr)
     return 0
 
 
@@ -191,6 +295,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_sweep(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "campaign":
+        return _command_campaign(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

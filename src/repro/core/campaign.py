@@ -22,6 +22,7 @@ from repro.core.experiments import (
     run_table_storage_study,
 )
 from repro.core.results import format_rows
+from repro.exec.backend import ExecutionBackend, SerialBackend
 
 __all__ = ["CampaignReport", "ExperimentReport", "run_campaign"]
 
@@ -84,6 +85,7 @@ def run_campaign(
     base_config: Optional[SimulationConfig] = None,
     loads_low_high: Sequence[float] = (0.15, 0.4),
     traffic_patterns: Sequence[str] = ("uniform", "transpose"),
+    backend: Optional[ExecutionBackend] = None,
 ) -> CampaignReport:
     """Run every paper experiment at the given scale.
 
@@ -96,8 +98,17 @@ def run_campaign(
     traffic_patterns:
         Patterns used by the simulation-backed experiments (bit-permutation
         patterns require a power-of-two node count).
+    backend:
+        Execution backend every simulation point is submitted through
+        (default: a fresh :class:`~repro.exec.backend.SerialBackend`).
+        Pass a :class:`~repro.exec.backend.ProcessPoolBackend` to run the
+        campaign on several cores and/or a backend with a
+        :class:`~repro.exec.cache.ResultCache` to make campaigns resumable:
+        every point is seeded by its configuration alone, so the report is
+        identical whichever backend produced it.
     """
     config = base_config if base_config is not None else SimulationConfig.small()
+    backend = backend if backend is not None else SerialBackend()
     experiments: List[ExperimentReport] = []
 
     experiments.append(
@@ -109,7 +120,10 @@ def run_campaign(
                 "at low load, and adaptivity dominates at high load on non-uniform traffic"
             ),
             rows=run_lookahead_comparison(
-                config, traffic_patterns=traffic_patterns, loads=loads_low_high
+                config,
+                traffic_patterns=traffic_patterns,
+                loads=loads_low_high,
+                backend=backend,
             ),
         )
     )
@@ -118,7 +132,9 @@ def run_campaign(
             name="table3",
             title="Table 3 - look-ahead benefit versus message length",
             paper_claim="the relative improvement shrinks from 18% (5 flits) to 6.5% (50 flits)",
-            rows=run_message_length_study(config, load=loads_low_high[0]),
+            rows=run_message_length_study(
+                config, load=loads_low_high[0], backend=backend
+            ),
         )
     )
     experiments.append(
@@ -133,6 +149,7 @@ def run_campaign(
                 config,
                 traffic_patterns=traffic_patterns,
                 loads=loads_low_high[-1:],
+                backend=backend,
             ),
         )
     )
@@ -149,6 +166,7 @@ def run_campaign(
                 traffic_patterns=traffic_patterns,
                 loads=loads_low_high,
                 include_full_table=True,
+                backend=backend,
             ),
         )
     )

@@ -12,8 +12,8 @@ be copied, varied in sweeps and embedded in results; the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Optional, Tuple
 
 __all__ = ["PaperDefaults", "SimulationConfig"]
 
@@ -165,6 +165,38 @@ class SimulationConfig:
     def variant(self, **overrides) -> "SimulationConfig":
         """A copy of this configuration with selected fields replaced."""
         return replace(self, **overrides)
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON-compatible dictionary of every field.
+
+        Tuples become lists, and float-typed fields are rendered as floats
+        even when an int was passed (``normalized_load=1`` vs ``1.0``), so
+        equal configurations always serialize -- and hash -- identically.
+        """
+        data: Dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            elif value is not None and "float" in str(spec.type):
+                value = float(value)
+            data[spec.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationConfig":
+        """Rebuild a configuration from :meth:`to_dict` output.
+
+        Unknown keys are ignored so caches written by newer versions with
+        extra fields still load (missing fields fall back to defaults).
+        """
+        known = {spec.name for spec in fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in known}
+        if "mesh_dims" in kwargs:
+            kwargs["mesh_dims"] = tuple(int(extent) for extent in kwargs["mesh_dims"])
+        return cls(**kwargs)
 
     @property
     def num_nodes(self) -> int:

@@ -1,0 +1,40 @@
+"""Shared batching helper for experiments sweeping a (traffic, load) grid."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.exec.backend import ExecutionBackend, SerialBackend
+
+__all__ = ["run_traffic_load_grid"]
+
+
+def run_traffic_load_grid(
+    cells: Sequence[Tuple[str, float, object]],
+    config_of: Callable[[str, float, object], SimulationConfig],
+    fill_row: Callable[[Dict[str, object], object, SimulationResult], None],
+    backend: Optional[ExecutionBackend] = None,
+) -> List[Dict[str, object]]:
+    """Simulate a (traffic, load, variant) cross product as one batch.
+
+    Submits one configuration per cell through ``backend``, then groups the
+    results into one row per (traffic, load) -- each starting with
+    ``{"traffic": ..., "load": ...}``, in first-appearance order -- and lets
+    ``fill_row(row, variant, result)`` write the per-variant columns.
+    """
+    backend = backend if backend is not None else SerialBackend()
+    results = backend.run_configs(
+        [config_of(traffic, load, variant) for traffic, load, variant in cells]
+    )
+    rows: List[Dict[str, object]] = []
+    row_of: Dict[Tuple[str, float], Dict[str, object]] = {}
+    for (traffic, load, variant), result in zip(cells, results):
+        row = row_of.get((traffic, load))
+        if row is None:
+            row = {"traffic": traffic, "load": load}
+            row_of[(traffic, load)] = row
+            rows.append(row)
+        fill_row(row, variant, result)
+    return rows

@@ -9,11 +9,11 @@ latencies.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SimulationConfig
 from repro.core.results import SimulationResult
-from repro.core.simulator import NetworkSimulator
+from repro.exec.backend import ExecutionBackend, SerialBackend
 
 __all__ = ["ROUTER_VARIANTS", "run_lookahead_comparison"]
 
@@ -29,12 +29,11 @@ ROUTER_VARIANTS: Dict[str, Dict[str, str]] = {
 _REFERENCE = "la-adapt"
 
 
-def _run_variant(
+def _variant_config(
     base: SimulationConfig, variant: str, traffic: str, load: float
-) -> SimulationResult:
+) -> SimulationConfig:
     overrides = dict(ROUTER_VARIANTS[variant])
-    config = base.variant(traffic=traffic, normalized_load=load, **overrides)
-    return NetworkSimulator(config).run()
+    return base.variant(traffic=traffic, normalized_load=load, **overrides)
 
 
 def run_lookahead_comparison(
@@ -42,6 +41,7 @@ def run_lookahead_comparison(
     traffic_patterns: Sequence[str] = ("uniform", "transpose"),
     loads: Sequence[float] = (0.1, 0.3, 0.5),
     variants: Sequence[str] = tuple(ROUTER_VARIANTS),
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[Dict[str, object]]:
     """Reproduce Figure 5 for the given patterns and loads.
 
@@ -49,16 +49,25 @@ def run_lookahead_comparison(
     router organisation and the percentage latency increase of each
     organisation over the LA ADAPT reference (positive = slower than
     LA ADAPT, the way the paper's bars read).
+
+    The router organisations of each (traffic, load) point are submitted
+    as one batch through ``backend``; loads are still walked in order so
+    the sweep stops at the reference router's saturation point exactly as
+    the serial code did.
     """
+    backend = backend if backend is not None else SerialBackend()
     if _REFERENCE not in variants:
         variants = tuple(variants) + (_REFERENCE,)
     rows: List[Dict[str, object]] = []
     for traffic in traffic_patterns:
         for load in loads:
-            results = {
-                variant: _run_variant(base_config, variant, traffic, load)
-                for variant in variants
-            }
+            batch = backend.run_configs(
+                [
+                    _variant_config(base_config, variant, traffic, load)
+                    for variant in variants
+                ]
+            )
+            results = dict(zip(variants, batch))
             reference = results[_REFERENCE]
             row: Dict[str, object] = {
                 "traffic": traffic,

@@ -8,10 +8,10 @@ removing one pipeline stage per hop.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SimulationConfig
-from repro.core.simulator import NetworkSimulator
+from repro.exec.backend import ExecutionBackend, SerialBackend
 
 __all__ = ["run_message_length_study"]
 
@@ -21,13 +21,17 @@ def run_message_length_study(
     message_lengths: Sequence[int] = (5, 10, 20, 50),
     traffic: str = "uniform",
     load: float = 0.2,
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[Dict[str, object]]:
     """Reproduce Table 3.
 
     Returns one row per message length with the adaptive-router latency
     with look-ahead, without look-ahead, and the percentage improvement.
+    All (length, pipeline) points are submitted as one batch through
+    ``backend``.
     """
-    rows: List[Dict[str, object]] = []
+    backend = backend if backend is not None else SerialBackend()
+    configs: List[SimulationConfig] = []
     for length in message_lengths:
         lookahead_config = base_config.variant(
             traffic=traffic,
@@ -36,9 +40,13 @@ def run_message_length_study(
             routing="duato",
             pipeline="la-proud",
         )
-        baseline_config = lookahead_config.variant(pipeline="proud")
-        lookahead = NetworkSimulator(lookahead_config).run()
-        baseline = NetworkSimulator(baseline_config).run()
+        configs.append(lookahead_config)
+        configs.append(lookahead_config.variant(pipeline="proud"))
+    results = backend.run_configs(configs)
+    rows: List[Dict[str, object]] = []
+    for index, length in enumerate(message_lengths):
+        lookahead = results[2 * index]
+        baseline = results[2 * index + 1]
         if baseline.latency > 0:
             improvement = 100.0 * (baseline.latency - lookahead.latency) / baseline.latency
         else:

@@ -7,10 +7,11 @@ adaptive router, over the four traffic patterns.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SimulationConfig
-from repro.core.simulator import NetworkSimulator
+from repro.core.experiments._grid import run_traffic_load_grid
+from repro.exec.backend import ExecutionBackend
 
 __all__ = ["PAPER_SELECTORS", "run_path_selection_study"]
 
@@ -23,26 +24,32 @@ def run_path_selection_study(
     selectors: Sequence[str] = PAPER_SELECTORS,
     traffic_patterns: Sequence[str] = ("transpose",),
     loads: Sequence[float] = (0.2, 0.4),
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[Dict[str, object]]:
     """Reproduce Figure 6 for the given heuristics, patterns and loads.
 
     Returns one row per (traffic, load) with each heuristic's average
-    latency (and a ``<name>_saturated`` flag per heuristic).
+    latency (and a ``<name>_saturated`` flag per heuristic).  The whole
+    (traffic, load, selector) cross product is submitted as one batch
+    through ``backend``.
     """
-    rows: List[Dict[str, object]] = []
-    for traffic in traffic_patterns:
-        for load in loads:
-            row: Dict[str, object] = {"traffic": traffic, "load": load}
-            for selector in selectors:
-                config = base_config.variant(
-                    traffic=traffic,
-                    normalized_load=load,
-                    selector=selector,
-                    routing="duato",
-                    pipeline="la-proud",
-                )
-                result = NetworkSimulator(config).run()
-                row[f"{selector}_latency"] = result.latency
-                row[f"{selector}_saturated"] = result.saturated
-            rows.append(row)
-    return rows
+    def config_of(traffic: str, load: float, selector) -> SimulationConfig:
+        return base_config.variant(
+            traffic=traffic,
+            normalized_load=load,
+            selector=selector,
+            routing="duato",
+            pipeline="la-proud",
+        )
+
+    def fill_row(row: Dict[str, object], selector, result) -> None:
+        row[f"{selector}_latency"] = result.latency
+        row[f"{selector}_saturated"] = result.saturated
+
+    cells = [
+        (traffic, load, selector)
+        for traffic in traffic_patterns
+        for load in loads
+        for selector in selectors
+    ]
+    return run_traffic_load_grid(cells, config_of, fill_row, backend=backend)

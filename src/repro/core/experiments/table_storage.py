@@ -15,10 +15,11 @@ Saturated points are reported as "Sat." just like the paper.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SimulationConfig
-from repro.core.simulator import NetworkSimulator
+from repro.core.experiments._grid import run_traffic_load_grid
+from repro.exec.backend import ExecutionBackend
 
 __all__ = ["TABLE_SCHEMES", "run_table_storage_study"]
 
@@ -36,34 +37,43 @@ def run_table_storage_study(
     loads: Sequence[float] = (0.1, 0.3),
     schemes: Dict[str, str] = None,
     include_full_table: bool = False,
+    backend: Optional[ExecutionBackend] = None,
 ) -> List[Dict[str, object]]:
     """Reproduce Table 4 for the given patterns and loads.
 
     Returns one row per (traffic, load) with each scheme's latency, its
     saturation flag and a printable label ("Sat." when saturated).  Set
     ``include_full_table`` to also simulate the full-table organisation
-    explicitly and confirm it matches the economical-storage column.
+    explicitly and confirm it matches the economical-storage column.  The
+    whole (traffic, load, scheme) cross product is submitted as one batch
+    through ``backend``.
     """
     if schemes is None:
         schemes = dict(TABLE_SCHEMES)
     if include_full_table and "full" not in schemes.values():
         schemes = dict(schemes)
         schemes["full_table"] = "full"
-    rows: List[Dict[str, object]] = []
-    for traffic in traffic_patterns:
-        for load in loads:
-            row: Dict[str, object] = {"traffic": traffic, "load": load}
-            for column, table in schemes.items():
-                config = base_config.variant(
-                    traffic=traffic,
-                    normalized_load=load,
-                    table=table,
-                    routing="duato",
-                    pipeline="la-proud",
-                )
-                result = NetworkSimulator(config).run()
-                row[f"{column}_latency"] = result.latency
-                row[f"{column}_saturated"] = result.saturated
-                row[f"{column}_label"] = result.latency_label()
-            rows.append(row)
-    return rows
+
+    def config_of(traffic: str, load: float, cell) -> SimulationConfig:
+        _, table = cell
+        return base_config.variant(
+            traffic=traffic,
+            normalized_load=load,
+            table=table,
+            routing="duato",
+            pipeline="la-proud",
+        )
+
+    def fill_row(row: Dict[str, object], cell, result) -> None:
+        column, _ = cell
+        row[f"{column}_latency"] = result.latency
+        row[f"{column}_saturated"] = result.saturated
+        row[f"{column}_label"] = result.latency_label()
+
+    cells = [
+        (traffic, load, (column, table))
+        for traffic in traffic_patterns
+        for load in loads
+        for column, table in schemes.items()
+    ]
+    return run_traffic_load_grid(cells, config_of, fill_row, backend=backend)

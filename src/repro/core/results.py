@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
@@ -40,6 +41,36 @@ class SimulationResult:
         if self.saturated:
             return "Sat."
         return f"{self.latency:.{precision}f}"
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible dictionary capturing the full result."""
+        return {
+            "config": self.config.to_dict(),
+            "summary": self.summary.as_dict(),
+            "zero_load_latency": self.zero_load_latency,
+            "cycles": self.cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            config=SimulationConfig.from_dict(data["config"]),
+            summary=LatencySummary.from_dict(data["summary"]),
+            zero_load_latency=float(data["zero_load_latency"]),
+            cycles=int(data["cycles"]),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize this result as a JSON document."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationResult":
+        """Deserialize a result from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
 
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary (config highlights plus summary) for reports."""

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclasses_fields
 from typing import List, Optional
 
 __all__ = ["LatencySummary", "RunningStats"]
@@ -135,3 +136,13 @@ class LatencySummary:
             "completion_ratio": self.completion_ratio,
             "saturated": self.saturated,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencySummary":
+        """Rebuild a summary from :meth:`as_dict` output.
+
+        Unknown keys are ignored so serialized results stay loadable when
+        fields are added later; missing fields raise ``TypeError``.
+        """
+        known = {spec.name for spec in dataclasses_fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})

@@ -81,3 +81,89 @@ def test_experiment_figure7_prints_the_programming_table(capsys):
 def test_experiment_rejects_unknown_name():
     with pytest.raises(SystemExit):
         main(["experiment", "figure99"])
+
+
+def test_run_command_caches_results(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    assert main(["run", *TINY_ARGS, "--cache-dir", str(cache_dir)]) == 0
+    first = capsys.readouterr().out
+    assert len(list(cache_dir.glob("*.json"))) == 1
+    # Second invocation is served from the cache and prints the same row.
+    assert main(["run", *TINY_ARGS, "--cache-dir", str(cache_dir)]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_sweep_command_accepts_workers(capsys):
+    exit_code = main(["sweep", *TINY_ARGS, "--loads", "0.1,0.3", "--workers", "2"])
+    assert exit_code == 0
+    lines = [line for line in capsys.readouterr().out.splitlines() if line.strip()]
+    assert len(lines) == 4
+
+
+def test_campaign_command_prints_markdown_report(capsys):
+    exit_code = main(
+        ["campaign", "--scale", "tiny", "--loads", "0.2", "--patterns", "uniform"]
+    )
+    assert exit_code == 0
+    captured = capsys.readouterr()
+    assert captured.out.startswith("## Reproduction campaign")
+    assert "### Figure 5" in captured.out
+    assert "simulations run" in captured.err
+
+
+def test_campaign_command_warm_cache_runs_zero_simulations(tmp_path, capsys):
+    cache_dir = str(tmp_path / "campaign-cache")
+    args = ["campaign", "--scale", "tiny", "--loads", "0.2",
+            "--patterns", "uniform", "--cache-dir", cache_dir]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main([*args, "--workers", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "campaign: 0 simulations run" in captured.err
+
+
+def test_analytic_experiments_do_not_create_a_cache_dir(tmp_path, capsys):
+    cache_dir = tmp_path / "never-created"
+    assert main(["experiment", "table5", "--cache-dir", str(cache_dir)]) == 0
+    capsys.readouterr()
+    assert not cache_dir.exists()
+
+
+def test_workers_flag_rejects_non_positive_counts():
+    with pytest.raises(SystemExit):
+        main(["run", *TINY_ARGS, "--workers", "0"])
+    with pytest.raises(SystemExit):
+        main(["run", *TINY_ARGS, "--workers", "-3"])
+
+
+def test_cache_dir_pointing_at_a_file_fails_cleanly(tmp_path):
+    not_a_dir = tmp_path / "file"
+    not_a_dir.write_text("")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", *TINY_ARGS, "--cache-dir", str(not_a_dir)])
+    assert "cannot use cache directory" in str(excinfo.value)
+
+
+def test_campaign_bad_output_path_still_prints_the_report(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["campaign", "--scale", "tiny", "--loads", "0.2",
+              "--patterns", "uniform", "--output", "/no/such/dir/report.md"])
+    assert "cannot write report" in str(excinfo.value)
+    assert capsys.readouterr().out.startswith("## Reproduction campaign")
+
+
+def test_campaign_rejects_more_than_two_loads():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["campaign", "--scale", "tiny", "--loads", "0.1,0.2,0.3"])
+    assert "one or two loads" in str(excinfo.value)
+
+
+def test_campaign_command_writes_output_file(tmp_path, capsys):
+    output = tmp_path / "report.md"
+    exit_code = main(
+        ["campaign", "--scale", "tiny", "--loads", "0.2",
+         "--patterns", "uniform", "--output", str(output)]
+    )
+    assert exit_code == 0
+    capsys.readouterr()
+    assert output.read_text().startswith("## Reproduction campaign")

@@ -72,3 +72,27 @@ def test_validation_errors():
         SimulationConfig(message_length=0)
     with pytest.raises(ValueError):
         SimulationConfig(measure_messages=0)
+
+
+def test_config_to_dict_round_trip():
+    config = SimulationConfig.small(traffic="transpose", normalized_load=0.35, seed=9)
+    data = config.to_dict()
+    assert data["mesh_dims"] == [8, 8]
+    assert SimulationConfig.from_dict(data) == config
+
+
+def test_config_from_dict_ignores_unknown_keys_and_defaults_missing_ones():
+    rebuilt = SimulationConfig.from_dict(
+        {"mesh_dims": [4, 4], "traffic": "transpose", "future_field": "x"}
+    )
+    assert rebuilt.mesh_dims == (4, 4)
+    assert rebuilt.traffic == "transpose"
+    assert rebuilt.seed == SimulationConfig().seed
+
+
+def test_config_to_dict_is_json_stable():
+    import json
+
+    first = json.dumps(SimulationConfig.tiny().to_dict(), sort_keys=True)
+    second = json.dumps(SimulationConfig.tiny().to_dict(), sort_keys=True)
+    assert first == second

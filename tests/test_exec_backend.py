@@ -1,0 +1,217 @@
+"""Tests for the execution backends and their sweep-wave semantics."""
+
+from typing import List, Sequence
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.core.sweep import run_load_sweep
+from repro.exec.backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+)
+from repro.exec.cache import ResultCache
+from repro.stats.latency import LatencySummary
+
+
+def fake_result(config: SimulationConfig, saturated: bool = False) -> SimulationResult:
+    summary = LatencySummary(
+        created=10,
+        delivered=10,
+        measured=10,
+        avg_total_latency=100.0 * config.normalized_load,
+        avg_network_latency=90.0 * config.normalized_load,
+        std_total_latency=1.0,
+        max_total_latency=200.0,
+        avg_hops=4.0,
+        throughput=config.normalized_load,
+        cycles=1000,
+        completion_ratio=1.0,
+        saturated=saturated,
+    )
+    return SimulationResult(
+        config=config, summary=summary, zero_load_latency=20.0, cycles=1000
+    )
+
+
+class FakeBackend(ExecutionBackend):
+    """Scripted backend: saturates at/above a load threshold, counts sims."""
+
+    def __init__(self, wave_size: int = 1, saturation_load: float = 0.5, cache=None):
+        super().__init__(cache=cache)
+        self._wave_size = wave_size
+        self.saturation_load = saturation_load
+        self.executed: List[SimulationConfig] = []
+
+    @property
+    def wave_size(self) -> int:
+        return self._wave_size
+
+    def _execute(self, configs: Sequence[SimulationConfig], on_result) -> List[SimulationResult]:
+        results: List[SimulationResult] = []
+        for index, config in enumerate(configs):
+            self.executed.append(config)
+            result = fake_result(
+                config, saturated=config.normalized_load >= self.saturation_load
+            )
+            on_result(index, result)
+            results.append(result)
+        return results
+
+
+def test_serial_backend_runs_and_counts():
+    backend = SerialBackend()
+    config = SimulationConfig.tiny()
+    results = backend.run_configs([config, config.variant(normalized_load=0.3)])
+    assert len(results) == 2
+    assert backend.simulations_run == 2
+    assert results[0].config.normalized_load == config.normalized_load
+    assert results[1].config.normalized_load == 0.3
+
+
+def test_backend_preserves_submission_order():
+    backend = FakeBackend()
+    base = SimulationConfig.tiny()
+    loads = [0.4, 0.1, 0.3, 0.2]
+    results = backend.run_configs(
+        [base.variant(normalized_load=load) for load in loads]
+    )
+    assert [result.config.normalized_load for result in results] == loads
+
+
+def test_backend_deduplicates_identical_configs_within_a_batch():
+    backend = FakeBackend()
+    config = SimulationConfig.tiny()
+    results = backend.run_configs([config, config, config.variant(seed=2), config])
+    assert backend.simulations_run == 2
+    assert results[0] == results[1] == results[3]
+    assert results[2].config.seed == 2
+
+
+def test_backend_serves_cache_hits_without_simulating(tmp_path):
+    cache = ResultCache(tmp_path)
+    config = SimulationConfig.tiny()
+    first = FakeBackend(cache=cache)
+    first.run_configs([config])
+    assert first.simulations_run == 1
+    second = FakeBackend(cache=cache)
+    results = second.run_configs([config])
+    assert second.simulations_run == 0
+    assert cache.hits == 1
+    assert results[0].config == config
+
+
+def test_mixed_batch_simulates_only_the_misses(tmp_path):
+    cache = ResultCache(tmp_path)
+    config = SimulationConfig.tiny()
+    other = config.variant(normalized_load=0.3)
+    FakeBackend(cache=cache).run_configs([config])
+    backend = FakeBackend(cache=cache)
+    results = backend.run_configs([config, other])
+    assert backend.simulations_run == 1
+    assert [r.config for r in results] == [config, other]
+
+
+def test_process_pool_backend_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        ProcessPoolBackend(workers=0)
+
+
+def test_wave_sizes():
+    assert SerialBackend().wave_size == 1
+    assert ProcessPoolBackend(workers=3).wave_size == 3
+
+
+def test_make_backend_selects_by_worker_count(tmp_path):
+    assert isinstance(make_backend(), SerialBackend)
+    assert isinstance(make_backend(workers=1), SerialBackend)
+    pool = make_backend(workers=2, cache_dir=tmp_path)
+    assert isinstance(pool, ProcessPoolBackend)
+    assert pool.workers == 2
+    assert isinstance(pool.cache, ResultCache)
+
+
+def test_sweep_stops_at_saturation_regardless_of_wave_size():
+    base = SimulationConfig.tiny()
+    loads = [0.1, 0.2, 0.3, 0.5, 0.6, 0.7]
+    serial_like = FakeBackend(wave_size=1, saturation_load=0.3)
+    wide = FakeBackend(wave_size=4, saturation_load=0.3)
+    points_serial = run_load_sweep(base, loads, backend=serial_like)
+    points_wide = run_load_sweep(base, loads, backend=wide)
+    # Both curves end at the first saturated load (0.3), inclusive.
+    assert [p.normalized_load for p in points_serial] == [0.1, 0.2, 0.3]
+    assert [p.normalized_load for p in points_wide] == [0.1, 0.2, 0.3]
+    assert points_serial[-1].saturated and points_wide[-1].saturated
+    # Serial waves never simulate past the saturated point; a wide wave may
+    # (those extra points are wasted work at most, never extra output rows).
+    assert [c.normalized_load for c in serial_like.executed] == [0.1, 0.2, 0.3]
+    assert [c.normalized_load for c in wide.executed] == [0.1, 0.2, 0.3, 0.5]
+
+
+def test_sweep_without_saturation_stop_submits_one_batch():
+    base = SimulationConfig.tiny()
+    backend = FakeBackend(wave_size=2)
+    points = run_load_sweep(base, [0.1, 0.6, 0.7], stop_at_saturation=False, backend=backend)
+    assert [p.normalized_load for p in points] == [0.1, 0.6, 0.7]
+    assert backend.simulations_run == 3
+
+
+class ExplodingBackend(FakeBackend):
+    """Fails while simulating the config whose seed is ``boom_seed``."""
+
+    def __init__(self, boom_seed: int, cache=None):
+        super().__init__(cache=cache)
+        self.boom_seed = boom_seed
+
+    def _execute(self, configs: Sequence[SimulationConfig], on_result):
+        results: List[SimulationResult] = []
+        for index, config in enumerate(configs):
+            if config.seed == self.boom_seed:
+                raise RuntimeError("worker died")
+            result = fake_result(config)
+            on_result(index, result)
+            results.append(result)
+        return results
+
+
+def test_completed_points_are_cached_even_if_the_batch_dies(tmp_path):
+    cache = ResultCache(tmp_path)
+    base = SimulationConfig.tiny()
+    batch = [base.variant(seed=1), base.variant(seed=2), base.variant(seed=3)]
+    backend = ExplodingBackend(boom_seed=3, cache=cache)
+    with pytest.raises(RuntimeError):
+        backend.run_configs(batch)
+    # The two points finished before the failure survived to disk...
+    assert backend.simulations_run == 2
+    assert len(cache) == 2
+    # ...so a resumed run only simulates the point that died.
+    resumed = FakeBackend(cache=cache)
+    results = resumed.run_configs(batch)
+    assert resumed.simulations_run == 1
+    assert [r.config.seed for r in results] == [1, 2, 3]
+
+
+def test_pool_caches_completed_points_when_a_worker_fails(tmp_path):
+    cache = ResultCache(tmp_path)
+    good = SimulationConfig.tiny(measure_messages=50, warmup_messages=5)
+    bad = good.variant(traffic="no-such-pattern")
+    with ProcessPoolBackend(workers=2, cache=cache) as backend:
+        with pytest.raises(Exception):
+            backend.run_configs([good, bad])
+    # The point that finished was persisted despite the other one failing.
+    assert cache.stores == 1
+    assert SerialBackend(cache=cache).run_configs([good]) and cache.hits == 1
+
+
+def test_backend_context_manager_closes_the_pool():
+    with ProcessPoolBackend(workers=2) as backend:
+        config = SimulationConfig.tiny(measure_messages=50, warmup_messages=5)
+        results = backend.run_configs(
+            [config, config.variant(normalized_load=0.25)]
+        )
+        assert len(results) == 2
+        assert backend._pool is not None
+    assert backend._pool is None

@@ -1,0 +1,150 @@
+"""Tests for the content-addressed result cache and the cache key."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.config import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.exec.cache import ResultCache, config_cache_key
+from repro.stats.latency import LatencySummary
+
+
+def make_result(config=None, latency=42.0):
+    config = config if config is not None else SimulationConfig.tiny()
+    summary = LatencySummary(
+        created=120,
+        delivered=120,
+        measured=100,
+        avg_total_latency=latency,
+        avg_network_latency=latency - 3.0,
+        std_total_latency=4.5,
+        max_total_latency=latency * 2,
+        avg_hops=5.25,
+        throughput=0.11,
+        cycles=4000,
+        completion_ratio=1.0,
+        saturated=False,
+    )
+    return SimulationResult(
+        config=config, summary=summary, zero_load_latency=29.5, cycles=4000
+    )
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def test_miss_on_empty_cache(cache):
+    assert cache.get(SimulationConfig.tiny()) is None
+    assert cache.misses == 1 and cache.hits == 0
+
+
+def test_put_then_get_round_trips_the_result(cache):
+    config = SimulationConfig.tiny()
+    result = make_result(config)
+    path = cache.put(config, result)
+    assert path.exists()
+    loaded = cache.get(config)
+    assert loaded == result
+    assert cache.hits == 1 and cache.stores == 1
+    assert len(cache) == 1
+
+
+def test_different_configs_use_different_slots(cache):
+    config = SimulationConfig.tiny()
+    other = config.variant(normalized_load=0.35)
+    assert config_cache_key(config) != config_cache_key(other)
+    cache.put(config, make_result(config))
+    assert cache.get(other) is None
+
+
+def test_equal_configs_share_a_key():
+    assert config_cache_key(SimulationConfig.tiny()) == config_cache_key(
+        SimulationConfig.tiny()
+    )
+
+
+def test_numerically_equal_int_and_float_fields_share_a_key():
+    as_int = SimulationConfig.tiny(normalized_load=1, drain_factor=4)
+    as_float = SimulationConfig.tiny(normalized_load=1.0, drain_factor=4.0)
+    assert as_int == as_float
+    assert config_cache_key(as_int) == config_cache_key(as_float)
+
+
+def test_clear_sweeps_orphaned_tmp_files(cache):
+    config = SimulationConfig.tiny()
+    cache.put(config, make_result(config))
+    orphan = cache.cache_dir / "deadbeef0123.tmp"
+    orphan.write_text("half-written", encoding="utf-8")
+    assert cache.clear() == 1
+    assert not orphan.exists()
+
+
+def test_corrupted_file_is_a_miss_and_is_discarded(cache):
+    config = SimulationConfig.tiny()
+    cache.put(config, make_result(config))
+    cache.path_for(config).write_text("{ not json", encoding="utf-8")
+    assert cache.get(config) is None
+    assert not cache.path_for(config).exists()
+    # The slot is usable again afterwards.
+    cache.put(config, make_result(config))
+    assert cache.get(config) is not None
+
+
+def test_schema_mismatch_is_a_miss(cache):
+    config = SimulationConfig.tiny()
+    cache.path_for(config).write_text(json.dumps({"config": {}}), encoding="utf-8")
+    assert cache.get(config) is None
+
+
+def test_stale_entry_for_another_config_is_a_miss(cache):
+    config = SimulationConfig.tiny()
+    other = config.variant(seed=999)
+    # Simulate a corrupted/renamed entry: other config's result under our key.
+    cache.path_for(config).write_text(make_result(other).to_json(), encoding="utf-8")
+    assert cache.get(config) is None
+
+
+def test_clear_removes_every_entry(cache):
+    config = SimulationConfig.tiny()
+    cache.put(config, make_result(config))
+    cache.put(config.variant(seed=2), make_result(config.variant(seed=2)))
+    assert cache.clear() == 2
+    assert len(cache) == 0
+
+
+def test_cache_key_changes_with_the_package_version(monkeypatch):
+    before = config_cache_key(SimulationConfig.tiny())
+    monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+    assert config_cache_key(SimulationConfig.tiny()) != before
+
+
+def test_cache_key_is_stable_across_processes():
+    """The key must not depend on PYTHONHASHSEED (unlike builtin hash())."""
+    config = SimulationConfig.tiny(normalized_load=0.25, seed=7)
+    local_key = config_cache_key(config)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    script = (
+        "from repro.core.config import SimulationConfig\n"
+        "from repro.exec.cache import config_cache_key\n"
+        "print(config_cache_key(SimulationConfig.tiny(normalized_load=0.25, seed=7)))\n"
+    )
+    for hash_seed in ("0", "12345"):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir
+        env["PYTHONHASHSEED"] = hash_seed
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert output == local_key

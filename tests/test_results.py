@@ -80,3 +80,34 @@ def test_format_rows_respects_column_selection():
 
 def test_format_rows_empty():
     assert format_rows([]) == "(no rows)"
+
+
+def test_result_to_dict_round_trip():
+    result = make_result()
+    data = result.to_dict()
+    assert set(data) == {"config", "summary", "zero_load_latency", "cycles"}
+    assert SimulationResult.from_dict(data) == result
+
+
+def test_result_json_round_trip_is_bit_identical():
+    result = make_result(latency=61.25, saturated=True)
+    loaded = SimulationResult.from_json(result.to_json())
+    assert loaded == result
+    assert loaded.config == result.config
+    assert loaded.summary == result.summary
+    assert loaded.to_json() == result.to_json()
+
+
+def test_result_to_dict_is_json_compatible():
+    import json
+
+    text = json.dumps(make_result().to_dict(), sort_keys=True)
+    assert '"mesh_dims": [4, 4]' in text
+
+
+def test_summary_from_dict_ignores_unknown_keys():
+    from repro.stats.latency import LatencySummary
+
+    data = make_summary().as_dict()
+    data["future_field"] = 123
+    assert LatencySummary.from_dict(data) == make_summary()
