@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Micro-benchmark: activity-aware kernel vs. the exhaustive reference.
+
+Times complete simulations of a 16x16 mesh (the paper's network) under
+both kernel schedules across a range of normalized loads, verifies that
+the two schedules produce bit-identical results, and writes the wall-clock
+numbers to a JSON file (``BENCH_kernel.json`` at the repository root by
+default) so the kernel's performance trajectory is tracked across PRs.
+
+The interesting regimes:
+
+* **low load (<= 0.2)** -- most routers and interfaces are idle most
+  cycles; the activity schedule skips them and fast-forwards, so this is
+  where the speedup target (>= 3x) applies;
+* **high load** -- nearly every component does real work every cycle, so
+  the activity schedule can only add bookkeeping; the requirement here is
+  *no regression* (speedup ~ 1.0).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py            # full 16x16
+    PYTHONPATH=src python benchmarks/bench_kernel.py --smoke    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import NetworkSimulator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Loads sampled by the full benchmark: the low-load regime the speedup
+#: target applies to, plus near- and past-saturation points for the
+#: no-regression check.
+FULL_LOADS = (0.02, 0.05, 0.1, 0.2, 0.6, 0.8)
+SMOKE_LOADS = (0.05, 0.6)
+
+
+def _base_config(smoke: bool) -> SimulationConfig:
+    if smoke:
+        return SimulationConfig(
+            mesh_dims=(8, 8),
+            message_length=20,
+            warmup_messages=40,
+            measure_messages=150,
+            seed=7,
+        )
+    return SimulationConfig(
+        mesh_dims=(16, 16),
+        message_length=20,
+        warmup_messages=100,
+        measure_messages=400,
+        seed=7,
+    )
+
+
+def _time_once(config: SimulationConfig, mode: str):
+    start = time.perf_counter()
+    result = NetworkSimulator(config, kernel_mode=mode).run()
+    return time.perf_counter() - start, result
+
+
+def _time_pair(config: SimulationConfig, repeats: int):
+    """Best wall-clock per mode over ``repeats`` interleaved runs.
+
+    The two modes are alternated within each repetition so slow drift in
+    the machine's available throughput (noisy neighbours, thermal
+    throttling) biases the speedup ratio as little as possible.
+    """
+    best = {"exhaustive": None, "activity": None}
+    results = {}
+    for _ in range(repeats):
+        for mode in ("exhaustive", "activity"):
+            elapsed, result = _time_once(config, mode)
+            results[mode] = result
+            if best[mode] is None or elapsed < best[mode]:
+                best[mode] = elapsed
+    return best, results
+
+
+def run_benchmark(
+    smoke: bool = False, repeats: int = 2, loads: Optional[List[float]] = None
+) -> Dict[str, object]:
+    """Run the kernel comparison and return the JSON-compatible report."""
+    base = _base_config(smoke)
+    if loads is None:
+        loads = list(SMOKE_LOADS if smoke else FULL_LOADS)
+    points = []
+    for load in loads:
+        config = base.variant(normalized_load=load)
+        best, results = _time_pair(config, repeats)
+        exhaustive_s, activity_s = best["exhaustive"], best["activity"]
+        exhaustive, activity = results["exhaustive"], results["activity"]
+        identical = exhaustive.to_json() == activity.to_json()
+        point = {
+            "normalized_load": load,
+            "cycles": activity.cycles,
+            "exhaustive_seconds": round(exhaustive_s, 4),
+            "activity_seconds": round(activity_s, 4),
+            "speedup": round(exhaustive_s / activity_s, 3),
+            "bit_identical": identical,
+        }
+        points.append(point)
+        print(
+            f"load={load:<5} cycles={point['cycles']:<7} "
+            f"exhaustive={exhaustive_s:6.2f}s activity={activity_s:6.2f}s "
+            f"speedup={point['speedup']:5.2f}x identical={identical}"
+        )
+    low_load = [p for p in points if p["normalized_load"] <= 0.2]
+    report = {
+        "benchmark": "kernel",
+        "scale": "smoke" if smoke else "full",
+        "mesh": "x".join(str(k) for k in base.mesh_dims),
+        "message_length": base.message_length,
+        "warmup_messages": base.warmup_messages,
+        "measure_messages": base.measure_messages,
+        "seed": base.seed,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "points": points,
+        "summary": {
+            "best_low_load_speedup": max((p["speedup"] for p in low_load), default=None),
+            "min_speedup": min(p["speedup"] for p in points),
+            "all_bit_identical": all(p["bit_identical"] for p in points),
+        },
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: 8x8 mesh, two loads, one repetition",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help="timed repetitions per point, best-of (default: 2, smoke: 1)",
+    )
+    parser.add_argument(
+        "--loads",
+        default=None,
+        metavar="L1,L2,...",
+        help="comma-separated normalized loads to sample",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_kernel.json"),
+        metavar="FILE",
+        help="where to write the JSON report (default: repo-root BENCH_kernel.json)",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 2)
+    loads = (
+        [float(part) for part in args.loads.split(",") if part]
+        if args.loads
+        else None
+    )
+    report = run_benchmark(smoke=args.smoke, repeats=repeats, loads=loads)
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {output}")
+    if not report["summary"]["all_bit_identical"]:
+        print("ERROR: kernel schedules disagreed on at least one point", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,12 @@ class SimulationResult:
     zero_load_latency: float
     #: Cycles actually simulated.
     cycles: int
+    #: Per-node message rate (messages/cycle) the injection process
+    #: actually offered.  Differs from the rate implied by the configured
+    #: normalized load only when a Bernoulli process clamps a super-unit
+    #: rate (the simulator warns when that happens).  0.0 in results
+    #: recorded before this field existed.
+    effective_message_rate: float = 0.0
 
     @property
     def saturated(self) -> bool:
@@ -51,6 +57,7 @@ class SimulationResult:
             "summary": self.summary.as_dict(),
             "zero_load_latency": self.zero_load_latency,
             "cycles": self.cycles,
+            "effective_message_rate": self.effective_message_rate,
         }
 
     @classmethod
@@ -61,6 +68,7 @@ class SimulationResult:
             summary=LatencySummary.from_dict(data["summary"]),
             zero_load_latency=float(data["zero_load_latency"]),
             cycles=int(data["cycles"]),
+            effective_message_rate=float(data.get("effective_message_rate", 0.0)),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

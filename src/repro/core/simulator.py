@@ -10,11 +10,12 @@ cycle-level kernel and returns a
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from repro.core.config import SimulationConfig
 from repro.core.results import SimulationResult
-from repro.engine.kernel import SimulationKernel
+from repro.engine.kernel import KERNEL_MODES, SimulationKernel
 from repro.engine.rng import SimulationRNG
 from repro.network.network import Network
 from repro.network.topology import MeshTopology, Topology, TorusTopology
@@ -94,6 +95,19 @@ def _build_injection(config: SimulationConfig, rate: float) -> InjectionProcess:
     if config.injection == "exponential":
         return ExponentialInjection(rate)
     if config.injection == "bernoulli":
+        if rate > 1.0:
+            # A slotted Bernoulli process cannot offer more than one
+            # message per node per cycle; silently clamping would distort
+            # the load axis, so make the distortion loud and record the
+            # effective rate in the result (see SimulationResult).
+            warnings.warn(
+                f"normalized load {config.normalized_load} asks for "
+                f"{rate:.4f} messages/node/cycle, beyond the Bernoulli "
+                "limit of one message per cycle; injecting at the clamped "
+                "rate 1.0 (the result records the effective rate)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         return BernoulliInjection(min(rate, 1.0))
     raise ValueError(
         f"unknown injection process {config.injection!r}; expected "
@@ -102,9 +116,26 @@ def _build_injection(config: SimulationConfig, rate: float) -> InjectionProcess:
 
 
 class NetworkSimulator:
-    """Builds and runs one simulation described by a configuration."""
+    """Builds and runs one simulation described by a configuration.
 
-    def __init__(self, config: SimulationConfig) -> None:
+    Parameters
+    ----------
+    config:
+        The plain-data description of the run.
+    kernel_mode:
+        Scheduling mode of the cycle kernel: ``"activity"`` (default)
+        skips quiescent components and fast-forwards over idle spans;
+        ``"exhaustive"`` runs every component every cycle.  Both produce
+        bit-identical results (enforced by
+        ``tests/test_kernel_equivalence.py``); the exhaustive schedule is
+        kept as the reference implementation.
+    """
+
+    def __init__(self, config: SimulationConfig, kernel_mode: str = "activity") -> None:
+        if kernel_mode not in KERNEL_MODES:
+            raise ValueError(
+                f"unknown kernel mode {kernel_mode!r}; expected one of {KERNEL_MODES}"
+            )
         self._config = config
         self._rng = SimulationRNG(seed=config.seed)
         self._topology = build_topology(config)
@@ -144,10 +175,12 @@ class NetworkSimulator:
             stats=self._stats,
             sources=self._generator.sources(),
         )
-        self._kernel = SimulationKernel()
+        self._kernel = SimulationKernel(mode=kernel_mode)
         self._kernel.register_all(self._network.components())
         self._kernel.add_stop_condition(lambda cycle: self._stats.all_measured_delivered())
-        self._message_rate = message_rate
+        # The rate the injection process actually offers (Bernoulli clamps
+        # super-unit rates); used for the cycle budget and the result.
+        self._message_rate = process.rate
 
     def _make_selector(self, node: int):
         return make_selector(self._config.selector, self._rng.stream(f"selector-{node}"))
@@ -178,6 +211,13 @@ class NetworkSimulator:
     def stats(self) -> StatsCollector:
         """The statistics collector fed by the network interfaces."""
         return self._stats
+
+    @property
+    def effective_message_rate(self) -> float:
+        """Per-node message rate (messages/cycle) the injection process
+        actually offers -- differs from the configured load only when a
+        Bernoulli process clamps a super-unit rate."""
+        return self._message_rate
 
     # -- analytics ---------------------------------------------------------------------
 
@@ -224,6 +264,7 @@ class NetworkSimulator:
             summary=summary,
             zero_load_latency=zero_load,
             cycles=cycles,
+            effective_message_rate=self._message_rate,
         )
 
     def __repr__(self) -> str:

@@ -33,6 +33,9 @@ class Clock:
     def tick(self, cycles: int = 1) -> int:
         """Advance the clock by ``cycles`` and return the new time.
 
+        The activity-aware kernel passes ``cycles > 1`` to fast-forward
+        over spans in which every component is quiescent.
+
         Parameters
         ----------
         cycles:

@@ -26,7 +26,8 @@ __all__ = ["CACHE_FORMAT_VERSION", "ResultCache", "config_cache_key"]
 #: Bumped whenever the stored-JSON schema or the simulator's numeric
 #: behaviour changes within a release; folded into the key so stale
 #: entries become misses instead of silently serving old results.
-CACHE_FORMAT_VERSION = 1
+#: Version 2: results record the effective per-node message rate.
+CACHE_FORMAT_VERSION = 2
 
 
 def config_cache_key(config: "SimulationConfig") -> str:

@@ -18,8 +18,9 @@ its valid path options already filled in).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
+from repro.engine.kernel import no_wake
 from repro.network.topology import LOCAL_PORT
 from repro.router.router import Router
 from repro.routing.base import RoutingAlgorithm
@@ -69,6 +70,8 @@ class NetworkInterface:
         # Ejection-side mailboxes.
         self._eject_mailbox: Deque[Tuple[int, int, Flit]] = deque()
         self._credit_mailbox: Deque[Tuple[int, int]] = deque()
+        #: Wake callback installed by an activity-aware kernel.
+        self._wake: Callable[[int], None] = no_wake
 
     # -- identity --------------------------------------------------------------
 
@@ -97,10 +100,12 @@ class NetworkInterface:
     def receive_flit(self, port: int, vc: int, flit: Flit, arrival_cycle: int) -> None:
         """Accept an ejected flit from the router's local output port."""
         self._eject_mailbox.append((arrival_cycle, vc, flit))
+        self._wake(arrival_cycle)
 
     def receive_credit(self, port: int, vc: int, arrival_cycle: int) -> None:
         """Accept a credit for a freed slot of the router's local input port."""
         self._credit_mailbox.append((arrival_cycle, vc))
+        self._wake(arrival_cycle)
 
     # -- per-cycle behaviour ------------------------------------------------------
 
@@ -172,6 +177,59 @@ class NetworkInterface:
                 slot.busy = False
             self._next_slot = (index + 1) % num_slots
             return
+
+    # -- quiescence (activity-aware kernel) ----------------------------------------
+
+    def set_wake(self, callback: Callable[[int], None]) -> None:
+        """Install the kernel callback invoked when an event is scheduled
+        for this interface (an ejected flit or a returned credit)."""
+        self._wake = callback
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest cycle (``>= cycle``) at which this interface has work.
+
+        Returns ``cycle`` when a flit can be injected (a slot with flits
+        and credits) or a queued message can claim a free slot; otherwise
+        the earliest of the pending mailbox arrivals and the source's next
+        due cycle (credit-blocked slots are unblocked by a credit arrival,
+        which wakes the interface); and ``None`` when the source is
+        exhausted and nothing is queued or in flight.  Components start
+        every run in the active set, so messages placed with :meth:`offer`
+        before the run begins are always picked up; mid-run external
+        offers require an exhaustive-schedule kernel.
+        """
+        free_slot = False
+        for slot in self._slots:
+            if slot.flits:
+                if slot.credits > 0:
+                    # A flit can be injected this cycle.
+                    return cycle
+                # Credit-blocked: the returning credit wakes us.
+            elif not slot.busy:
+                free_slot = True
+        if self._injection_queue and free_slot:
+            # A queued message can claim a free virtual channel now.
+            return cycle
+        upcoming: Optional[int] = None
+        if self._eject_mailbox:
+            upcoming = self._eject_mailbox[0][0]
+        if self._credit_mailbox:
+            arrival = self._credit_mailbox[0][0]
+            if upcoming is None or arrival < upcoming:
+                upcoming = arrival
+        source = self._source
+        if source is not None:
+            next_due = getattr(source, "next_due_cycle", None)
+            if next_due is None:
+                # Sources without a due-cycle forecast must be polled
+                # every cycle for new messages.
+                return cycle
+            due = next_due()
+            if due is not None:
+                due = max(due, cycle)
+                if upcoming is None or due < upcoming:
+                    upcoming = due
+        return upcoming
 
     # -- introspection ---------------------------------------------------------------
 

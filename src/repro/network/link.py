@@ -3,9 +3,14 @@
 Flit transport itself is implemented by the routers' scheduled mailboxes
 (a flit granted the switch at cycle ``s`` is scheduled to appear in the
 downstream buffer at ``s + switch_delay + link_delay``), which avoids a
-per-link object in the simulation's inner loop.  :class:`Link` is the
-descriptive record the network assembly keeps for each unidirectional
-connection so that wiring can be inspected, validated and reported.
+per-link object in the simulation's inner loop.  Because every link and
+credit delay is at least one cycle (enforced here and in
+:class:`~repro.router.config.RouterConfig`), a scheduled arrival always
+lies strictly in the future -- the invariant that lets the activity-aware
+kernel sleep a component until its next mailbox arrival without ever
+missing a same-cycle event.  :class:`Link` is the descriptive record the
+network assembly keeps for each unidirectional connection so that wiring
+can be inspected, validated and reported.
 """
 
 from __future__ import annotations

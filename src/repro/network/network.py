@@ -127,7 +127,15 @@ class Network:
         return self._interfaces[node]
 
     def components(self) -> List[object]:
-        """All clocked components in kernel registration order."""
+        """All clocked components in kernel registration order.
+
+        Registration order is the per-cycle phase order *and* the order in
+        which interfaces draw from the shared network-wide message budget,
+        so it must be deterministic: routers by node id, then interfaces
+        by node id.  Every component implements the quiescence hooks
+        (``next_event_cycle``/``set_wake``), so this list can be driven by
+        either kernel schedule with bit-identical results.
+        """
         return list(self._routers) + list(self._interfaces)
 
     def is_idle(self) -> bool:

@@ -211,7 +211,15 @@ class Topology:
         raise NotImplementedError
 
     def average_distance(self) -> float:
-        """Average minimal hop count over all ordered source/dest pairs."""
+        """Average minimal hop count over all ordered source/dest pairs.
+
+        The O(nodes^2) pair walk is memoized per instance: topologies are
+        immutable after construction and the simulator consults this both
+        for the cycle budget and the zero-load latency of every run.
+        """
+        cached = getattr(self, "_average_distance", None)
+        if cached is not None:
+            return cached
         total = 0
         count = 0
         for source in range(self._num_nodes):
@@ -220,7 +228,9 @@ class Topology:
                     continue
                 total += self.distance(source, destination)
                 count += 1
-        return total / count if count else 0.0
+        average = total / count if count else 0.0
+        self._average_distance = average
+        return average
 
     # -- capacity ----------------------------------------------------------
 

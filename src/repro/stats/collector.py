@@ -60,7 +60,10 @@ class StatsCollector:
         """Register delivery of a message's tail flit and accumulate latency."""
         self._delivered += 1
         self._last_delivery_cycle = cycle
-        index = self._order.get(message.message_id)
+        # Pop (rather than read) the creation index: each message is
+        # delivered at most once, and keeping one dict entry per created
+        # message would grow memory without bound on long runs.
+        index = self._order.pop(message.message_id, None)
         if index is None or index < self._warmup:
             return
         if (

@@ -10,6 +10,7 @@ injecting 10,000 warm-up messages and measuring over the next 400,000.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import List, Optional
 
@@ -135,6 +136,24 @@ class TrafficSource:
     def node(self) -> int:
         """Node this source injects at."""
         return self._node
+
+    def next_due_cycle(self) -> Optional[int]:
+        """The cycle at which the next message (or permutation fixed point)
+        falls due, or ``None`` when this source will never produce again.
+
+        An arrival at continuous time ``t`` is created by the
+        :meth:`messages_due` call of cycle ``floor(t)`` (the first cycle
+        with ``t < cycle + 1``).  Once the network-wide budget is
+        exhausted no source creates messages any more, so an
+        activity-aware kernel may stop polling it; the remaining
+        inter-arrival draws it skips feed nothing observable (each node's
+        arrival stream is private to that node).
+        """
+        if self._generator.exhausted:
+            return None
+        if math.isinf(self._next_arrival):
+            return None
+        return math.floor(self._next_arrival)
 
     def messages_due(self, cycle: int) -> List[Message]:
         """Messages whose arrival time falls within ``cycle``.

@@ -77,6 +77,11 @@ class UniformPattern(TrafficPattern):
 
     def destination(self, source: int, rng: random.Random) -> Optional[int]:
         num_nodes = self._topology.num_nodes
+        if num_nodes < 2:
+            # A single-node network has no destination other than the
+            # source; treat every injection slot as a fixed point instead
+            # of crashing in randrange(0).
+            return None
         destination = rng.randrange(num_nodes - 1)
         # Skip over the source so all other nodes are equally likely.
         if destination >= source:
@@ -148,19 +153,40 @@ class BitComplementPattern(TrafficPattern):
 
 
 class TornadoPattern(TrafficPattern):
-    """Tornado traffic: move half-way around every dimension."""
+    """Tornado traffic: move half-way around every dimension.
+
+    On a torus the classic definition applies: every node sends to the
+    node ``extent // 2`` hops further along each wrapping dimension.  A
+    mesh has no wrap-around channels, so "half-way around" is undefined
+    there; the ``% extent`` arithmetic previously produced wrap-around
+    destinations that turned edge sources into *short* backward trips
+    instead of long ones.  On meshes the offset (``extent // 2 - 1``, the
+    longest hop that keeps the center-to-center spirit without crossing
+    the missing wrap link) is therefore *clamped* at the mesh edge:
+    sources near the high edge send shorter distances, and the far corner
+    becomes a fixed point that does not inject -- mirroring how the
+    permutation patterns treat their fixed points.  Raising instead (as
+    the bit patterns do for non-power-of-two networks) was rejected so
+    tornado sweeps stay runnable on the paper's mesh topologies.
+    """
 
     name = "tornado"
 
     def destination(self, source: int, rng: random.Random) -> Optional[int]:
         coords = self._topology.coordinates(source)
         dims = self._topology.dims
-        target = tuple(
-            (coordinate + (extent // 2) - (0 if self._topology.wraps else 1)) % extent
-            if extent > 1
-            else coordinate
-            for coordinate, extent in zip(coords, dims)
-        )
+        if self._topology.wraps:
+            target = tuple(
+                (coordinate + extent // 2) % extent if extent > 1 else coordinate
+                for coordinate, extent in zip(coords, dims)
+            )
+        else:
+            target = tuple(
+                min(coordinate + extent // 2 - 1, extent - 1)
+                if extent > 1
+                else coordinate
+                for coordinate, extent in zip(coords, dims)
+            )
         destination = self._topology.node_id(target)
         return None if destination == source else destination
 

@@ -83,3 +83,122 @@ def test_components_property_preserves_registration_order():
     kernel.register(first)
     kernel.register(second)
     assert kernel.components == [first, second]
+
+
+# -- activity-aware schedule --------------------------------------------------
+
+
+class SleepyComponent(RecordingComponent):
+    """Activity-aware component scripted with a queue of event cycles.
+
+    Runs (and logs) only when the kernel schedules it; reports the next
+    scripted event from ``events`` and sleeps in between (``None`` once
+    the script is exhausted).
+    """
+
+    def __init__(self, name, log, events):
+        super().__init__(name, log)
+        self.events = sorted(events)
+        self.wake = None
+
+    def set_wake(self, callback):
+        self.wake = callback
+
+    def next_event_cycle(self, cycle):
+        while self.events and self.events[0] < cycle:
+            self.events.pop(0)
+        return self.events[0] if self.events else None
+
+
+def test_unknown_mode_is_rejected():
+    with pytest.raises(ValueError):
+        SimulationKernel(mode="lazy")
+
+
+def test_activity_mode_runs_plain_components_every_cycle():
+    """Components without quiescence hooks degrade to the exhaustive schedule."""
+    log_activity, log_exhaustive = [], []
+    for mode, log in (("activity", log_activity), ("exhaustive", log_exhaustive)):
+        kernel = SimulationKernel(mode=mode)
+        kernel.register_all([RecordingComponent("a", log), RecordingComponent("b", log)])
+        kernel.run(4)
+    assert log_activity == log_exhaustive
+
+
+def test_activity_mode_skips_quiescent_components():
+    log = []
+    kernel = SimulationKernel(mode="activity")
+    kernel.register(SleepyComponent("s", log, events=[0, 3, 7]))
+    executed = kernel.run(10)
+    assert executed == 10
+    assert kernel.clock.now == 10
+    # Both phases ran exactly at the scripted event cycles.
+    assert [entry[0] for entry in log if entry[2] == "deliver"] == [0, 3, 7]
+
+
+def test_activity_mode_fast_forwards_an_idle_system():
+    """With every component asleep the clock jumps straight between events
+    instead of burning empty cycles, and still lands on the full budget."""
+    log = []
+    kernel = SimulationKernel(mode="activity")
+    kernel.register(SleepyComponent("s", log, events=[100]))
+    executed = kernel.run(1000)
+    assert executed == 1000
+    assert kernel.clock.now == 1000
+    assert [entry[0] for entry in log if entry[2] == "deliver"] == [0, 100]
+
+
+def test_wake_callback_reactivates_a_sleeping_component():
+    log = []
+    sleeper = SleepyComponent("s", log, events=[])
+    kernel = SimulationKernel(mode="activity")
+    kernel.register(sleeper)
+    kernel.run(3)  # runs at cycle 0, then sleeps with no scheduled event
+    assert [entry[0] for entry in log] == [0, 0]
+    sleeper.wake(5)
+    kernel.run(10)
+    assert [entry[0] for entry in log if entry[2] == "deliver"] == [0, 5]
+    assert kernel.clock.now == 13
+
+
+def test_wake_keeps_the_earliest_of_several_requests():
+    log = []
+    sleeper = SleepyComponent("s", log, events=[])
+    kernel = SimulationKernel(mode="activity")
+    kernel.register(sleeper)
+    kernel.run(1)
+    sleeper.wake(9)
+    sleeper.wake(4)  # earlier wake supersedes the later one
+    sleeper.wake(7)  # later wake is ignored while an earlier one is pending
+    kernel.run(20)
+    assert [entry[0] for entry in log if entry[2] == "deliver"] == [0, 4]
+
+
+def test_activity_mode_honours_stop_conditions_at_visited_cycles():
+    log = []
+    kernel = SimulationKernel(mode="activity")
+    kernel.register(SleepyComponent("s", log, events=[0, 2, 4, 6]))
+    kernel.add_stop_condition(lambda cycle: cycle >= 5)
+    executed = kernel.run(100)
+    # Stop conditions are checked at every loop iteration (cycle 5 included,
+    # before any fast-forward decision), exactly as the exhaustive kernel
+    # would: both stop with the clock at 5.
+    assert [entry[0] for entry in log if entry[2] == "deliver"] == [0, 2, 4]
+    assert executed == 5
+    assert kernel.clock.now == 5
+
+
+def test_activity_step_executes_single_cycles():
+    log = []
+    kernel = SimulationKernel(mode="activity")
+    kernel.register(SleepyComponent("s", log, events=[0, 2]))
+    assert kernel.step() == 0
+    assert kernel.step() == 1  # sleeper skipped, clock still advances
+    assert kernel.step() == 2
+    assert [entry[0] for entry in log if entry[2] == "deliver"] == [0, 2]
+
+
+def test_mode_is_reported():
+    assert SimulationKernel().mode == "exhaustive"
+    assert SimulationKernel(mode="activity").mode == "activity"
+    assert "activity" in repr(SimulationKernel(mode="activity"))

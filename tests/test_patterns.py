@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.network.topology import MeshTopology
+from repro.network.topology import MeshTopology, TorusTopology
 from repro.traffic.patterns import (
     BitComplementPattern,
     BitReversalPattern,
@@ -113,10 +113,63 @@ def test_tornado_moves_half_way(mesh, rng):
     assert destination == mesh.node_id((1, 1))
 
 
+def test_tornado_clamps_at_the_mesh_edge_instead_of_wrapping(mesh, rng):
+    """A mesh has no wrap links, so edge sources clamp to the boundary:
+    the offset must never turn into a short backward (wrapped) trip."""
+    pattern = TornadoPattern(mesh)
+    # Coordinate 3 + offset 1 would wrap to 0 under the old arithmetic.
+    assert pattern.destination(mesh.node_id((3, 0)), rng) == mesh.node_id((3, 1))
+    assert pattern.destination(mesh.node_id((0, 3)), rng) == mesh.node_id((1, 3))
+    for source in range(mesh.num_nodes):
+        destination = pattern.destination(source, rng)
+        if destination is None:
+            continue
+        source_coords = mesh.coordinates(source)
+        destination_coords = mesh.coordinates(destination)
+        for src, dst in zip(source_coords, destination_coords):
+            assert dst >= src, "mesh tornado must never move backwards"
+
+
+def test_tornado_far_corner_is_a_fixed_point_on_a_mesh(mesh, rng):
+    pattern = TornadoPattern(mesh)
+    assert pattern.destination(mesh.node_id((3, 3)), rng) is None
+
+
+def test_tornado_wraps_half_way_on_a_torus(rng):
+    torus = TorusTopology((4, 4))
+    pattern = TornadoPattern(torus)
+    assert pattern.destination(torus.node_id((0, 0)), rng) == torus.node_id((2, 2))
+    assert pattern.destination(torus.node_id((3, 1)), rng) == torus.node_id((1, 3))
+
+
 def test_nearest_neighbor_wraps(mesh, rng):
     pattern = NearestNeighborPattern(mesh)
     assert pattern.destination(mesh.node_id((1, 2)), rng) == mesh.node_id((2, 2))
     assert pattern.destination(mesh.node_id((3, 2)), rng) == mesh.node_id((0, 2))
+
+
+class _OneNodeTopology:
+    """Minimal degenerate topology (the built-in classes require >= 2
+    nodes per dimension, but patterns accept any Topology-like object)."""
+
+    num_nodes = 1
+    dims = (1,)
+
+    def node_id(self, coords):
+        return 0
+
+
+def test_uniform_single_node_topology_never_injects(rng):
+    """A 1-node network has no valid destination: the pattern must report
+    a fixed point (None) instead of crashing in randrange(0)."""
+    pattern = UniformPattern(_OneNodeTopology())
+    assert pattern.destination(0, rng) is None
+
+
+def test_hotspot_single_node_topology_never_injects(rng):
+    """The hotspot pattern reaches the uniform fallback on one node."""
+    pattern = HotspotPattern(_OneNodeTopology(), fraction=0.5)
+    assert pattern.destination(0, rng) is None
 
 
 def test_hotspot_sends_extra_traffic_to_hotspot(mesh, rng):

@@ -85,7 +85,13 @@ def test_format_rows_empty():
 def test_result_to_dict_round_trip():
     result = make_result()
     data = result.to_dict()
-    assert set(data) == {"config", "summary", "zero_load_latency", "cycles"}
+    assert set(data) == {
+        "config",
+        "summary",
+        "zero_load_latency",
+        "cycles",
+        "effective_message_rate",
+    }
     assert SimulationResult.from_dict(data) == result
 
 

@@ -137,6 +137,42 @@ def test_bernoulli_injection_supported():
     assert result.summary.completion_ratio == pytest.approx(1.0)
 
 
+def test_bernoulli_rate_beyond_one_warns_and_records_effective_rate():
+    # One-flit messages at normalized load 8.0 ask for more than one
+    # message per node per cycle -- impossible for a slotted Bernoulli
+    # process.  The clamp must be loud and visible in the result, not a
+    # silent distortion of the load axis.
+    config = SimulationConfig.tiny(
+        normalized_load=8.0,
+        injection="bernoulli",
+        message_length=1,
+        measure_messages=100,
+        warmup_messages=10,
+        max_cycles=300,
+        seed=31,
+    )
+    with pytest.warns(RuntimeWarning, match="Bernoulli limit"):
+        simulator = NetworkSimulator(config)
+    assert simulator.effective_message_rate == 1.0
+    result = simulator.run()
+    assert result.effective_message_rate == 1.0
+
+
+def test_effective_rate_is_recorded_without_clamping():
+    import warnings
+
+    config = SimulationConfig.tiny(normalized_load=0.2, injection="bernoulli", seed=29)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # no clamp warning expected
+        simulator = NetworkSimulator(config)
+    result = simulator.run()
+    assert 0.0 < result.effective_message_rate < 1.0
+    assert result.effective_message_rate == simulator.effective_message_rate
+
+    exponential = NetworkSimulator(SimulationConfig.tiny(seed=29)).run()
+    assert exponential.effective_message_rate > 0.0
+
+
 def test_builders_reject_unknown_names():
     config = SimulationConfig.tiny()
     topology = build_topology(config)

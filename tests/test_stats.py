@@ -84,6 +84,20 @@ def test_messages_beyond_measure_target_are_ignored():
     assert collector.all_measured_delivered()
 
 
+def test_delivered_messages_are_pruned_from_the_order_map():
+    """The creation-order map must not grow without bound: delivery pops
+    the entry, so memory stays proportional to in-flight messages."""
+    collector = StatsCollector(warmup_messages=1, measure_messages=10)
+    messages = [delivered_message(0, 1, 10 + index) for index in range(5)]
+    for message in messages:
+        collector.record_created(message)
+    assert len(collector._order) == 5
+    for message in messages:
+        collector.record_delivered(message, message.ejection_cycle)
+    assert len(collector._order) == 0
+    assert collector.measured_delivered == 4  # one warm-up excluded
+
+
 def test_unknown_messages_do_not_crash_the_collector():
     collector = StatsCollector(warmup_messages=0, measure_messages=10)
     stray = delivered_message(0, 1, 9)
