@@ -17,22 +17,38 @@ Quick start::
                                     selector="max-credit")
     result = NetworkSimulator(config).run()
     print(f"average latency: {result.latency:.1f} cycles")
+
+Batches of runs are described declaratively (see :mod:`repro.scenario`)::
+
+    from repro import Study, load_study, run_study
+
+    outcome = run_study(load_study("figure5"))
+    print(outcome.to_markdown())
+
+and new components plug in through :mod:`repro.registry` without touching
+repro internals.
 """
 
 from repro.core.config import PaperDefaults, SimulationConfig
 from repro.core.results import SimulationResult, format_rows
 from repro.core.simulator import NetworkSimulator
 from repro.core.sweep import LoadSweepPoint, run_load_sweep
+from repro.scenario import Scenario, Study, StudyResult, load_study, run_study
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "LoadSweepPoint",
     "NetworkSimulator",
     "PaperDefaults",
+    "Scenario",
     "SimulationConfig",
     "SimulationResult",
+    "Study",
+    "StudyResult",
     "format_rows",
+    "load_study",
     "run_load_sweep",
+    "run_study",
     "__version__",
 ]

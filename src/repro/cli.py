@@ -1,7 +1,13 @@
 """Command-line interface for the LAPSES reproduction.
 
-Four subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
+``study``
+    Run a declarative study: a JSON spec file or the name of a built-in
+    study (``figure5`` ... ``figure7``, ``sweep``, ``campaign``).  This
+    is the primary entry point; ``--plugin MODULE`` imports user code
+    that registers extra components (see :mod:`repro.registry`) before
+    the spec is loaded, and ``--list`` shows everything registered.
 ``run``
     Simulate a single configuration and print its summary.
 ``sweep``
@@ -12,11 +18,14 @@ Four subcommands cover the common workflows:
 ``campaign``
     Run every paper experiment and print the Markdown report.
 
-Every simulation-backed subcommand accepts ``--workers N`` (simulate N
-points at a time on a process pool; default serial) and ``--cache-dir
-PATH`` (persist results as JSON keyed by the configuration hash, so
-repeated points are served from disk).  Results are bit-identical for any
-worker count because every simulation is seeded by its configuration.
+``run``/``sweep``/``experiment``/``campaign`` are thin wrappers that
+build the equivalent study spec and execute it through the same path as
+``study``.  Every simulation-backed subcommand accepts ``--workers N``
+(simulate N points at a time on a process pool; default serial) and
+``--cache-dir PATH`` (persist results as JSON keyed by the configuration
+hash, so repeated points are served from disk).  Results are
+bit-identical for any worker count because every simulation is seeded by
+its configuration.
 
 The console script ``lapses`` (installed with the package) and
 ``python -m repro.cli`` both dispatch to :func:`main`.
@@ -26,21 +35,16 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import List, Optional, Sequence
 
-from repro.core.campaign import run_campaign
+from repro import registry
 from repro.core.config import SimulationConfig
-from repro.core.experiments import (
-    run_cost_table,
-    run_es_programming_example,
-    run_lookahead_comparison,
-    run_message_length_study,
-    run_path_selection_study,
-    run_table_storage_study,
-)
 from repro.core.results import format_rows
-from repro.core.sweep import run_load_sweep
 from repro.exec.backend import ExecutionBackend, make_backend
+from repro.registry import STUDIES, load_plugin
+from repro.scenario import Study, StudyResult, load_study, run_study
+from repro.scenario import builtin as builtin_studies
 from repro.selection.heuristics import SELECTOR_NAMES
 
 __all__ = ["build_parser", "main"]
@@ -159,6 +163,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    study_parser = subparsers.add_parser(
+        "study", help="run a declarative study from a JSON spec or built-in name"
+    )
+    study_parser.add_argument(
+        "spec", nargs="?", default=None,
+        help="path to a JSON study spec, or a built-in study name "
+             "(see --list)")
+    study_parser.add_argument(
+        "--plugin", action="append", default=[], metavar="MODULE",
+        help="import MODULE (dotted path or .py file) before loading the "
+             "spec, so user-registered components are available; worker "
+             "processes import it too (repeatable)")
+    study_parser.add_argument(
+        "--list", action="store_true", dest="list_studies",
+        help="list the built-in studies and every registered component, "
+             "then exit")
+    study_parser.add_argument("--output", default=None, metavar="FILE",
+                              help="also write the report to FILE")
+    _add_exec_arguments(study_parser)
+
     run_parser = subparsers.add_parser("run", help="simulate one configuration")
     _add_config_arguments(run_parser)
     _add_exec_arguments(run_parser)
@@ -197,61 +221,180 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _study_needs_backend(study: Study) -> bool:
+    """Whether running ``study`` submits any simulations."""
+    if study.kind == "grid":
+        return True
+    if study.kind == "suite":
+        return any(_study_needs_backend(member) for member in study.members)
+    return False
+
+
+def _render_study(outcome: StudyResult, precision: int = 2) -> str:
+    """The printable report of one study outcome."""
+    if outcome.study.kind == "suite":
+        return outcome.to_markdown()
+    return format_rows(
+        outcome.rows, columns=outcome.study.report.columns, precision=precision
+    )
+
+
+def _write_output(text: str, output: Optional[str]) -> None:
+    if not output:
+        return
+    try:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    except OSError as error:
+        raise SystemExit(f"lapses: cannot write report to {output!r}: {error}")
+
+
+def _print_backend_summary(label: str, backend: ExecutionBackend) -> None:
+    summary = f"{label}: {backend.simulations_run} simulations run"
+    if backend.cache is not None:
+        summary += (
+            f", {backend.cache.hits} served from cache ({backend.cache.cache_dir})"
+        )
+    print(summary, file=sys.stderr)
+
+
+def _list_studies() -> int:
+    print("Built-in studies (run with: study <name>):")
+    for name in STUDIES.names():
+        study = STUDIES.get(name)()
+        print(f"  {name:<10} {study.title}")
+    print()
+    print("Registered components:")
+    for kind, entries in registry.describe_registries().items():
+        if kind == "study":
+            continue
+        names = ", ".join(entry["name"] for entry in entries)
+        print(f"  {kind:<10} {names}")
+    return 0
+
+
+def _command_study(args: argparse.Namespace) -> int:
+    # Plugins load first so --list shows their components and spec files
+    # can name them.
+    for plugin in args.plugin:
+        try:
+            load_plugin(plugin)
+        except (ImportError, OSError) as error:
+            raise SystemExit(f"lapses: cannot load plugin {plugin!r}: {error}")
+    if args.list_studies:
+        return _list_studies()
+    if args.spec is None:
+        raise SystemExit("lapses: study needs a spec file or built-in name (or --list)")
+    try:
+        study = load_study(args.spec)
+    except ValueError as error:
+        raise SystemExit(f"lapses: {error}")
+    # Pre-load the spec's own plugins (run_study would too, but failing
+    # here turns a traceback into a clean CLI error).
+    for plugin in study.all_plugins():
+        try:
+            load_plugin(plugin)
+        except (ImportError, OSError) as error:
+            raise SystemExit(f"lapses: cannot load plugin {plugin!r}: {error}")
+    if _study_needs_backend(study):
+        plugins = study.all_plugins() + tuple(args.plugin)
+        try:
+            backend = make_backend(
+                workers=args.workers, cache_dir=args.cache_dir, plugins=plugins
+            )
+        except OSError as error:
+            raise SystemExit(
+                f"lapses: cannot use cache directory {args.cache_dir!r}: {error}"
+            )
+        with backend:
+            outcome = _run_study_or_exit(study, backend)
+        text = _render_study(outcome)
+        print(text)
+        _write_output(text, args.output)
+        _print_backend_summary(f"study {study.name}", backend)
+    else:
+        outcome = _run_study_or_exit(study, None)
+        text = _render_study(outcome)
+        print(text)
+        _write_output(text, args.output)
+    return 0
+
+
+def _run_study_or_exit(study: Study, backend: Optional[ExecutionBackend]) -> StudyResult:
+    """Run a study, converting spec-level failures into clean CLI errors.
+
+    Expansion and execution raise ``ValueError`` for bad component names
+    (the eager config validation) and unknown reporters/analytics, and
+    ``TypeError`` for reporter/analytic options that do not match the
+    registered callable's signature -- all user-spec mistakes, not bugs.
+    """
+    try:
+        return run_study(study, backend=backend)
+    except (ValueError, TypeError) as error:
+        raise SystemExit(f"lapses: cannot run study {study.name!r}: {error}")
+
+
 def _command_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
+    study = builtin_studies.single_run_study(config)
     with _backend_from_args(args) as backend:
-        result = backend.run_one(config)
-    print(format_rows([result.as_dict()], precision=2))
+        outcome = run_study(study, backend=backend)
+    print(format_rows(outcome.rows, precision=2))
     return 0
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
+    study = builtin_studies.sweep_study(config, loads=args.loads)
     with _backend_from_args(args) as backend:
-        points = run_load_sweep(config, args.loads, backend=backend)
-    rows = [
-        {
-            "load": point.normalized_load,
-            "latency": point.result.latency_label(),
-            "network_latency": point.result.summary.avg_network_latency,
-            "throughput": point.result.summary.throughput,
-            "saturated": point.saturated,
-        }
-        for point in points
-    ]
-    print(format_rows(rows, precision=3))
+        outcome = run_study(study, backend=backend)
+    print(format_rows(outcome.rows, precision=3))
     return 0
 
 
+def _experiment_study(name: str, base: SimulationConfig) -> Study:
+    if name == "figure5":
+        return builtin_studies.lookahead_study(base)
+    if name == "table3":
+        return builtin_studies.message_length_study(base)
+    if name == "figure6":
+        return builtin_studies.path_selection_study(base)
+    if name == "table4":
+        return builtin_studies.table_storage_study(base, include_full_table=True)
+    if name == "table5":
+        return builtin_studies.cost_table_study(
+            num_nodes=base.num_nodes, n_dims=len(base.mesh_dims)
+        )
+    if name == "figure7":
+        return builtin_studies.es_programming_study()
+    raise ValueError(f"unknown experiment {name!r}")  # pragma: no cover
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
+    # FutureWarning, not DeprecationWarning: the default filter hides the
+    # latter outside __main__, so the installed console script would never
+    # show the migration notice.
+    warnings.warn(
+        "the 'experiment' subcommand is a wrapper over the study path; "
+        f"prefer 'study {args.name}' (or a JSON spec file)",
+        FutureWarning,
+        stacklevel=2,
+    )
     base = _SCALES[args.scale](seed=args.seed)
-    name = args.name
+    study = _experiment_study(args.name, base)
     # table5 and figure7 are analytical: no simulations, so no backend (and
     # no cache directory is created for them).
-    if name == "table5":
-        rows = run_cost_table(num_nodes=base.num_nodes, n_dims=len(base.mesh_dims))
-    elif name == "figure7":
-        rows = run_es_programming_example()
-    else:
+    if _study_needs_backend(study):
         with _backend_from_args(args) as backend:
-            if name == "figure5":
-                rows = run_lookahead_comparison(base, backend=backend)
-            elif name == "table3":
-                rows = run_message_length_study(base, backend=backend)
-            elif name == "figure6":
-                rows = run_path_selection_study(base, backend=backend)
-            elif name == "table4":
-                rows = run_table_storage_study(
-                    base, include_full_table=True, backend=backend
-                )
-            else:  # pragma: no cover - argparse restricts the choices
-                raise ValueError(f"unknown experiment {name!r}")
-    print(format_rows(rows, precision=2))
+            outcome = run_study(study, backend=backend)
+    else:
+        outcome = run_study(study)
+    print(format_rows(outcome.rows, precision=2))
     return 0
 
 
 def _command_campaign(args: argparse.Namespace) -> int:
-    # run_campaign interprets the list as (low, high): table3 samples only
+    # campaign_study interprets the list as (low, high): table3 samples only
     # the low load and figure6 only the high one, so more than two loads
     # would silently produce mismatched grids across experiments.
     if not 1 <= len(args.loads) <= 2:
@@ -259,29 +402,25 @@ def _command_campaign(args: argparse.Namespace) -> int:
             "lapses: campaign --loads expects one or two loads (low[,high]), "
             f"got {len(args.loads)}"
         )
+    warnings.warn(
+        "the 'campaign' subcommand is a wrapper over the study path; "
+        "prefer 'study campaign' (or a JSON spec file)",
+        FutureWarning,
+        stacklevel=2,
+    )
     base = _SCALES[args.scale](seed=args.seed)
+    study = builtin_studies.campaign_study(
+        base,
+        loads_low_high=tuple(args.loads),
+        traffic_patterns=tuple(args.patterns),
+    )
     with _backend_from_args(args) as backend:
-        report = run_campaign(
-            base,
-            loads_low_high=tuple(args.loads),
-            traffic_patterns=tuple(args.patterns),
-            backend=backend,
-        )
-        simulated = backend.simulations_run
-        cache = backend.cache
-    text = report.to_markdown()
+        outcome = run_study(study, backend=backend)
+    text = outcome.to_markdown()
     # Print before writing: a bad --output path must not discard the report.
     print(text)
-    if args.output:
-        try:
-            with open(args.output, "w", encoding="utf-8") as handle:
-                handle.write(text)
-        except OSError as error:
-            raise SystemExit(f"lapses: cannot write report to {args.output!r}: {error}")
-    summary = f"campaign: {simulated} simulations run"
-    if cache is not None:
-        summary += f", {cache.hits} served from cache ({cache.cache_dir})"
-    print(summary, file=sys.stderr)
+    _write_output(text, args.output)
+    _print_backend_summary("campaign", backend)
     return 0
 
 
@@ -289,6 +428,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "study":
+        return _command_study(args)
     if args.command == "run":
         return _command_run(args)
     if args.command == "sweep":

@@ -1,28 +1,22 @@
 """Full reproduction campaign: run every paper experiment and write a report.
 
-:func:`run_campaign` executes the complete set of experiment runners (one
-per table/figure of the paper) at a chosen scale and returns a
-:class:`CampaignReport`; :meth:`CampaignReport.to_markdown` renders the
-whole thing as a single Markdown document, which is how the measured
-numbers quoted in ``EXPERIMENTS.md`` were produced.
+The campaign now lives in the declarative scenario layer as the built-in
+``campaign`` suite study (:func:`repro.scenario.builtin.campaign_study`);
+:func:`run_campaign` survives as a thin shim that builds the suite, runs
+it through :func:`repro.scenario.run_study` and converts the outcome back
+into a :class:`CampaignReport` (whose Markdown is bit-identical to the
+historical implementation -- enforced by the golden tests).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SimulationConfig
-from repro.core.experiments import (
-    run_cost_table,
-    run_es_programming_example,
-    run_lookahead_comparison,
-    run_message_length_study,
-    run_path_selection_study,
-    run_table_storage_study,
-)
-from repro.core.results import format_rows
-from repro.exec.backend import ExecutionBackend, SerialBackend
+from repro.core.results import render_campaign_header, render_report_section
+from repro.exec.backend import ExecutionBackend
 
 __all__ = ["CampaignReport", "ExperimentReport", "run_campaign"]
 
@@ -44,11 +38,8 @@ class ExperimentReport:
 
     def to_markdown(self) -> str:
         """Render this experiment as a Markdown section."""
-        table = format_rows(self.rows, columns=self.columns, precision=2)
-        return (
-            f"### {self.title}\n\n"
-            f"*Paper claim:* {self.paper_claim}\n\n"
-            f"```\n{table}\n```\n"
+        return render_report_section(
+            self.title, self.paper_claim, self.rows, columns=self.columns
         )
 
 
@@ -70,15 +61,9 @@ class CampaignReport:
 
     def to_markdown(self) -> str:
         """Render the whole campaign as a Markdown document."""
-        header = (
-            "## Reproduction campaign\n\n"
-            f"Base configuration: {self.config.mesh_dims[0]}x{self.config.mesh_dims[1]} mesh, "
-            f"{self.config.message_length}-flit messages, "
-            f"{self.config.vcs_per_port} VCs/channel, "
-            f"{self.config.measure_messages} measured messages per point, "
-            f"seed {self.config.seed}.\n\n"
+        return render_campaign_header(self.config) + "\n".join(
+            report.to_markdown() for report in self.experiments
         )
-        return header + "\n".join(report.to_markdown() for report in self.experiments)
 
 
 def run_campaign(
@@ -88,6 +73,10 @@ def run_campaign(
     backend: Optional[ExecutionBackend] = None,
 ) -> CampaignReport:
     """Run every paper experiment at the given scale.
+
+    .. deprecated::
+        Build the suite instead:
+        ``run_study(repro.scenario.builtin.campaign_study(...))``.
 
     Parameters
     ----------
@@ -101,89 +90,33 @@ def run_campaign(
     backend:
         Execution backend every simulation point is submitted through
         (default: a fresh :class:`~repro.exec.backend.SerialBackend`).
-        Pass a :class:`~repro.exec.backend.ProcessPoolBackend` to run the
-        campaign on several cores and/or a backend with a
-        :class:`~repro.exec.cache.ResultCache` to make campaigns resumable:
-        every point is seeded by its configuration alone, so the report is
+        Every point is seeded by its configuration alone, so the report is
         identical whichever backend produced it.
     """
-    config = base_config if base_config is not None else SimulationConfig.small()
-    backend = backend if backend is not None else SerialBackend()
-    experiments: List[ExperimentReport] = []
+    warnings.warn(
+        "run_campaign() is deprecated; run the 'campaign' Study instead "
+        "(repro.scenario.builtin.campaign_study + repro.scenario.run_study)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.scenario.builtin import campaign_study
+    from repro.scenario.runner import run_study
 
-    experiments.append(
-        ExperimentReport(
-            name="figure5",
-            title="Figure 5 - look-ahead and adaptivity comparison",
-            paper_claim=(
-                "the LA-ADAPT router is ~12-15% faster than the no-look-ahead routers "
-                "at low load, and adaptivity dominates at high load on non-uniform traffic"
-            ),
-            rows=run_lookahead_comparison(
-                config,
-                traffic_patterns=traffic_patterns,
-                loads=loads_low_high,
-                backend=backend,
-            ),
-        )
+    config = base_config if base_config is not None else SimulationConfig.small()
+    study = campaign_study(
+        config,
+        loads_low_high=loads_low_high,
+        traffic_patterns=traffic_patterns,
     )
-    experiments.append(
+    outcome = run_study(study, backend=backend)
+    experiments = [
         ExperimentReport(
-            name="table3",
-            title="Table 3 - look-ahead benefit versus message length",
-            paper_claim="the relative improvement shrinks from 18% (5 flits) to 6.5% (50 flits)",
-            rows=run_message_length_study(
-                config, load=loads_low_high[0], backend=backend
-            ),
+            name=member.study.name,
+            title=member.study.title,
+            paper_claim=member.study.paper_claim,
+            rows=member.rows,
+            columns=member.study.report.columns,
         )
-    )
-    experiments.append(
-        ExperimentReport(
-            name="figure6",
-            title="Figure 6 - path-selection heuristics",
-            paper_claim=(
-                "LRU, LFU and MAX-CREDIT beat STATIC-XY and MIN-MUX on the "
-                "non-uniform patterns at medium-to-high load"
-            ),
-            rows=run_path_selection_study(
-                config,
-                traffic_patterns=traffic_patterns,
-                loads=loads_low_high[-1:],
-                backend=backend,
-            ),
-        )
-    )
-    experiments.append(
-        ExperimentReport(
-            name="table4",
-            title="Table 4 - table-storage schemes",
-            paper_claim=(
-                "economical storage equals the full table; the meta-table mappings "
-                "lose adaptivity and saturate earlier"
-            ),
-            rows=run_table_storage_study(
-                config,
-                traffic_patterns=traffic_patterns,
-                loads=loads_low_high,
-                include_full_table=True,
-                backend=backend,
-            ),
-        )
-    )
-    experiments.append(
-        ExperimentReport(
-            name="table5",
-            title="Table 5 - storage cost summary",
-            paper_claim="economical storage needs 9 entries on any 2-D mesh vs N for the full table",
-            rows=run_cost_table(num_nodes=config.num_nodes, n_dims=len(config.mesh_dims)),
-        )
-    )
-    experiments.append(
-        ExperimentReport(
-            name="figure7",
-            title="Figure 7 - economical-storage table programming (North-Last)",
-            paper_claim="specific algorithms deny otherwise-minimal ports to stay deadlock free",
-            rows=run_es_programming_example(),
-        )
-    )
+        for member in outcome.members
+    ]
     return CampaignReport(config=config, experiments=experiments)

@@ -113,6 +113,22 @@ class SimulationConfig:
             raise ValueError("messages are at least one flit long")
         if self.warmup_messages < 0 or self.measure_messages < 1:
             raise ValueError("invalid measurement window")
+        self.validate()
+
+    def validate(self) -> None:
+        """Check every registry-backed string field against its registry.
+
+        Runs eagerly at construction (``__post_init__``), so a typo in
+        ``traffic``/``routing``/``table``/``selector``/``pipeline``/
+        ``injection`` raises a ``ValueError`` naming the bad value and the
+        sorted registered alternatives instead of failing deep inside
+        network assembly.  Register plugin components (see
+        :mod:`repro.registry`) *before* constructing configurations that
+        name them.
+        """
+        from repro.registry import validate_config_names
+
+        validate_config_names(self)
 
     # -- convenience constructors -------------------------------------------------------------
 

@@ -1,12 +1,36 @@
-"""Table 5: storage-cost and property summary of the table organisations."""
+"""Table 5: storage-cost and property summary of the table organisations.
+
+The implementation is registered as the ``cost-table`` analytic in
+:data:`repro.registry.ANALYTICS` and is what the built-in ``table5``
+study runs; :func:`run_cost_table` survives as a deprecation shim.
+"""
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional
 
+from repro.registry import register
 from repro.tables.cost_model import table_cost_summary
 
 __all__ = ["run_cost_table"]
+
+
+@register("analytic", "cost-table")
+def _cost_table_rows(
+    num_nodes: int = 256,
+    n_dims: int = 2,
+    num_ports: Optional[int] = None,
+    meta_levels: int = 2,
+) -> List[Dict[str, object]]:
+    """Storage-cost summary rows of Table 5 for one network shape."""
+    summaries = table_cost_summary(
+        num_nodes=num_nodes,
+        n_dims=n_dims,
+        num_ports=num_ports,
+        meta_levels=meta_levels,
+    )
+    return [summary.as_row() for summary in summaries]
 
 
 def run_cost_table(
@@ -17,14 +41,23 @@ def run_cost_table(
 ) -> List[Dict[str, object]]:
     """Reproduce Table 5 for a network of ``num_nodes`` nodes.
 
+    .. deprecated::
+        Build the study instead:
+        ``run_study(repro.scenario.builtin.cost_table_study(...))``.
+
     The default arguments describe the paper's 256-node 2-D mesh; the Cray
     T3D comparison in Section 5.2.1 corresponds to
     ``run_cost_table(num_nodes=2048, n_dims=3)``.
     """
-    summaries = table_cost_summary(
+    warnings.warn(
+        "run_cost_table() is deprecated; run the 'table5' Study instead "
+        "(repro.scenario.builtin.cost_table_study + repro.scenario.run_study)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _cost_table_rows(
         num_nodes=num_nodes,
         n_dims=n_dims,
         num_ports=num_ports,
         meta_levels=meta_levels,
     )
-    return [summary.as_row() for summary in summaries]

@@ -4,13 +4,20 @@ The paper programs the 9-entry economical-storage table of router (1, 1)
 in a 3x3 mesh for North-Last partially adaptive routing, showing for every
 destination the sign pair, the candidate minimal ports and the ports the
 North-Last algorithm actually permits.
+
+The implementation is registered as the ``es-programming`` analytic in
+:data:`repro.registry.ANALYTICS` and is what the built-in ``figure7``
+study runs; :func:`run_es_programming_example` survives as a deprecation
+shim.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import warnings
+from typing import Dict, List, Sequence, Tuple
 
 from repro.network.topology import MeshTopology
+from repro.registry import register
 from repro.routing.providers import minimal_adaptive_provider, north_last_provider
 from repro.tables.economical import EconomicalStorageTable
 
@@ -26,17 +33,13 @@ def _port_names(topology: MeshTopology, ports: Tuple[int, ...]) -> str:
     return ", ".join(names[port] for port in ports)
 
 
-def run_es_programming_example(
-    mesh_extent: int = 3, node_coords: Tuple[int, int] = (1, 1)
+@register("analytic", "es-programming")
+def _es_programming_rows(
+    mesh_extent: int = 3, node_coords: Sequence[int] = (1, 1)
 ) -> List[Dict[str, object]]:
-    """Reproduce Figure 7(d) for the router at ``node_coords``.
-
-    Returns one row per destination node with the sign pair, the fully
-    adaptive candidate ports and the ports permitted by North-Last
-    routing (some minimal ports are denied to guarantee deadlock freedom).
-    """
+    """Figure 7(d) rows for the router at ``node_coords``."""
     topology = MeshTopology((mesh_extent, mesh_extent))
-    node = topology.node_id(node_coords)
+    node = topology.node_id(tuple(node_coords))
     adaptive_table = EconomicalStorageTable(
         topology, provider=minimal_adaptive_provider(topology)
     )
@@ -60,3 +63,26 @@ def run_es_programming_example(
             }
         )
     return rows
+
+
+def run_es_programming_example(
+    mesh_extent: int = 3, node_coords: Tuple[int, int] = (1, 1)
+) -> List[Dict[str, object]]:
+    """Reproduce Figure 7(d) for the router at ``node_coords``.
+
+    .. deprecated::
+        Build the study instead:
+        ``run_study(repro.scenario.builtin.es_programming_study(...))``.
+
+    Returns one row per destination node with the sign pair, the fully
+    adaptive candidate ports and the ports permitted by North-Last
+    routing (some minimal ports are denied to guarantee deadlock freedom).
+    """
+    warnings.warn(
+        "run_es_programming_example() is deprecated; run the 'figure7' Study "
+        "instead (repro.scenario.builtin.es_programming_study + "
+        "repro.scenario.run_study)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _es_programming_rows(mesh_extent=mesh_extent, node_coords=node_coords)

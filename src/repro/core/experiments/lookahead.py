@@ -1,39 +1,23 @@
-"""Figure 5: look-ahead and adaptivity comparison.
+"""Figure 5: look-ahead and adaptivity comparison (deprecation shim).
 
-The paper compares four router organisations -- deterministic and
-adaptive, each with and without look-ahead -- over four traffic patterns,
-reporting the percentage latency increase of each organisation relative to
-the look-ahead adaptive router (LA ADAPT) plus the absolute LA ADAPT
-latencies.
+The experiment now lives in the declarative scenario layer as the
+built-in ``figure5`` study (:func:`repro.scenario.builtin.lookahead_study`);
+:func:`run_lookahead_comparison` survives as a thin shim that builds the
+study and runs it through :func:`repro.scenario.run_study`, returning the
+same rows as the historical implementation (enforced by the golden tests).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SimulationConfig
-from repro.core.results import SimulationResult
-from repro.exec.backend import ExecutionBackend, SerialBackend
+from repro.exec.backend import ExecutionBackend
+from repro.scenario.builtin import ROUTER_VARIANTS, lookahead_study
+from repro.scenario.runner import run_study
 
 __all__ = ["ROUTER_VARIANTS", "run_lookahead_comparison"]
-
-#: The four router organisations of Figure 5, as configuration overrides.
-ROUTER_VARIANTS: Dict[str, Dict[str, str]] = {
-    "no-la-det": {"pipeline": "proud", "routing": "dimension-order"},
-    "no-la-adapt": {"pipeline": "proud", "routing": "duato"},
-    "la-det": {"pipeline": "la-proud", "routing": "dimension-order"},
-    "la-adapt": {"pipeline": "la-proud", "routing": "duato"},
-}
-
-#: The organisation every other one is normalised against.
-_REFERENCE = "la-adapt"
-
-
-def _variant_config(
-    base: SimulationConfig, variant: str, traffic: str, load: float
-) -> SimulationConfig:
-    overrides = dict(ROUTER_VARIANTS[variant])
-    return base.variant(traffic=traffic, normalized_load=load, **overrides)
 
 
 def run_lookahead_comparison(
@@ -45,48 +29,27 @@ def run_lookahead_comparison(
 ) -> List[Dict[str, object]]:
     """Reproduce Figure 5 for the given patterns and loads.
 
+    .. deprecated::
+        Build the study instead:
+        ``run_study(repro.scenario.builtin.lookahead_study(...))``.
+
     Returns one row per (traffic, load) with the absolute latency of every
     router organisation and the percentage latency increase of each
     organisation over the LA ADAPT reference (positive = slower than
-    LA ADAPT, the way the paper's bars read).
-
-    The router organisations of each (traffic, load) point are submitted
-    as one batch through ``backend``; loads are still walked in order so
-    the sweep stops at the reference router's saturation point exactly as
-    the serial code did.
+    LA ADAPT, the way the paper's bars read).  Loads are walked in order
+    and the sweep stops at the reference router's saturation point.
     """
-    backend = backend if backend is not None else SerialBackend()
-    if _REFERENCE not in variants:
-        variants = tuple(variants) + (_REFERENCE,)
-    rows: List[Dict[str, object]] = []
-    for traffic in traffic_patterns:
-        for load in loads:
-            batch = backend.run_configs(
-                [
-                    _variant_config(base_config, variant, traffic, load)
-                    for variant in variants
-                ]
-            )
-            results = dict(zip(variants, batch))
-            reference = results[_REFERENCE]
-            row: Dict[str, object] = {
-                "traffic": traffic,
-                "load": load,
-                "la_adapt_latency": reference.latency,
-                "la_adapt_saturated": reference.saturated,
-            }
-            for variant, result in results.items():
-                if variant == _REFERENCE:
-                    continue
-                row[f"{variant}_latency"] = result.latency
-                row[f"{variant}_saturated"] = result.saturated
-                if reference.latency > 0:
-                    increase = 100.0 * (result.latency - reference.latency) / reference.latency
-                else:
-                    increase = 0.0
-                row[f"{variant}_pct_increase"] = increase
-            rows.append(row)
-            # The paper only plots loads up to saturation of the reference.
-            if reference.saturated:
-                break
-    return rows
+    warnings.warn(
+        "run_lookahead_comparison() is deprecated; run the 'figure5' Study "
+        "instead (repro.scenario.builtin.lookahead_study + "
+        "repro.scenario.run_study)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    study = lookahead_study(
+        base_config,
+        traffic_patterns=traffic_patterns,
+        loads=loads,
+        variants=variants,
+    )
+    return run_study(study, backend=backend).rows

@@ -1,17 +1,22 @@
-"""Table 3: impact of message length on the look-ahead benefit.
+"""Table 3: message-length impact on look-ahead (deprecation shim).
 
-The paper fixes uniform traffic at normalized load 0.2 and compares the
-adaptive router with and without look-ahead for 5-, 10-, 20- and 50-flit
-messages: the shorter the message, the larger the relative gain from
-removing one pipeline stage per hop.
+The experiment now lives in the declarative scenario layer as the
+built-in ``table3`` study
+(:func:`repro.scenario.builtin.message_length_study`);
+:func:`run_message_length_study` survives as a thin shim over
+:func:`repro.scenario.run_study` returning the same rows as the
+historical implementation (enforced by the golden tests).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SimulationConfig
-from repro.exec.backend import ExecutionBackend, SerialBackend
+from repro.exec.backend import ExecutionBackend
+from repro.scenario.builtin import message_length_study
+from repro.scenario.runner import run_study
 
 __all__ = ["run_message_length_study"]
 
@@ -25,39 +30,24 @@ def run_message_length_study(
 ) -> List[Dict[str, object]]:
     """Reproduce Table 3.
 
+    .. deprecated::
+        Build the study instead:
+        ``run_study(repro.scenario.builtin.message_length_study(...))``.
+
     Returns one row per message length with the adaptive-router latency
     with look-ahead, without look-ahead, and the percentage improvement.
-    All (length, pipeline) points are submitted as one batch through
-    ``backend``.
     """
-    backend = backend if backend is not None else SerialBackend()
-    configs: List[SimulationConfig] = []
-    for length in message_lengths:
-        lookahead_config = base_config.variant(
-            traffic=traffic,
-            normalized_load=load,
-            message_length=length,
-            routing="duato",
-            pipeline="la-proud",
-        )
-        configs.append(lookahead_config)
-        configs.append(lookahead_config.variant(pipeline="proud"))
-    results = backend.run_configs(configs)
-    rows: List[Dict[str, object]] = []
-    for index, length in enumerate(message_lengths):
-        lookahead = results[2 * index]
-        baseline = results[2 * index + 1]
-        if baseline.latency > 0:
-            improvement = 100.0 * (baseline.latency - lookahead.latency) / baseline.latency
-        else:
-            improvement = 0.0
-        rows.append(
-            {
-                "message_length": length,
-                "lookahead_latency": lookahead.latency,
-                "no_lookahead_latency": baseline.latency,
-                "pct_improvement": improvement,
-                "saturated": lookahead.saturated or baseline.saturated,
-            }
-        )
-    return rows
+    warnings.warn(
+        "run_message_length_study() is deprecated; run the 'table3' Study "
+        "instead (repro.scenario.builtin.message_length_study + "
+        "repro.scenario.run_study)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    study = message_length_study(
+        base_config,
+        message_lengths=message_lengths,
+        traffic=traffic,
+        load=load,
+    )
+    return run_study(study, backend=backend).rows

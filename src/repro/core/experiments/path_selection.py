@@ -1,22 +1,24 @@
-"""Figure 6: performance of the path-selection heuristics.
+"""Figure 6: path-selection heuristics (deprecation shim).
 
-The paper plots average latency versus load for five path-selection
-heuristics (STATIC-XY, MIN-MUX, LFU, LRU, MAX-CREDIT) on the look-ahead
-adaptive router, over the four traffic patterns.
+The experiment now lives in the declarative scenario layer as the
+built-in ``figure6`` study
+(:func:`repro.scenario.builtin.path_selection_study`);
+:func:`run_path_selection_study` survives as a thin shim over
+:func:`repro.scenario.run_study` returning the same rows as the
+historical implementation (enforced by the golden tests).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SimulationConfig
-from repro.core.experiments._grid import run_traffic_load_grid
 from repro.exec.backend import ExecutionBackend
+from repro.scenario.builtin import PAPER_SELECTORS, path_selection_study
+from repro.scenario.runner import run_study
 
 __all__ = ["PAPER_SELECTORS", "run_path_selection_study"]
-
-#: The five heuristics evaluated in Figure 6, in the paper's legend order.
-PAPER_SELECTORS = ("static-xy", "min-mux", "lfu", "lru", "max-credit")
 
 
 def run_path_selection_study(
@@ -28,28 +30,24 @@ def run_path_selection_study(
 ) -> List[Dict[str, object]]:
     """Reproduce Figure 6 for the given heuristics, patterns and loads.
 
+    .. deprecated::
+        Build the study instead:
+        ``run_study(repro.scenario.builtin.path_selection_study(...))``.
+
     Returns one row per (traffic, load) with each heuristic's average
-    latency (and a ``<name>_saturated`` flag per heuristic).  The whole
-    (traffic, load, selector) cross product is submitted as one batch
-    through ``backend``.
+    latency (and a ``<name>_saturated`` flag per heuristic).
     """
-    def config_of(traffic: str, load: float, selector) -> SimulationConfig:
-        return base_config.variant(
-            traffic=traffic,
-            normalized_load=load,
-            selector=selector,
-            routing="duato",
-            pipeline="la-proud",
-        )
-
-    def fill_row(row: Dict[str, object], selector, result) -> None:
-        row[f"{selector}_latency"] = result.latency
-        row[f"{selector}_saturated"] = result.saturated
-
-    cells = [
-        (traffic, load, selector)
-        for traffic in traffic_patterns
-        for load in loads
-        for selector in selectors
-    ]
-    return run_traffic_load_grid(cells, config_of, fill_row, backend=backend)
+    warnings.warn(
+        "run_path_selection_study() is deprecated; run the 'figure6' Study "
+        "instead (repro.scenario.builtin.path_selection_study + "
+        "repro.scenario.run_study)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    study = path_selection_study(
+        base_config,
+        selectors=selectors,
+        traffic_patterns=traffic_patterns,
+        loads=loads,
+    )
+    return run_study(study, backend=backend).rows

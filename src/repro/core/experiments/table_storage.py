@@ -1,79 +1,57 @@
-"""Table 4: performance of the routing-table storage schemes.
+"""Table 4: routing-table storage schemes (deprecation shim).
 
-The paper compares, per traffic pattern and load:
-
-* meta-table routing programmed for *maximal* adaptivity (block cluster
-  mapping, the paper's "Meta-Tbl Adp." column),
-* meta-table routing programmed for *minimal* adaptivity (row cluster
-  mapping, the "Meta-Tbl Det." column, equivalent to deterministic
-  dimension-order routing), and
-* full-table routing, whose performance is identical to the proposed
-  economical-storage table (the "Full-Tbl-Adp. / Econ. Storage" column).
-
-Saturated points are reported as "Sat." just like the paper.
+The experiment now lives in the declarative scenario layer as the
+built-in ``table4`` study
+(:func:`repro.scenario.builtin.table_storage_study`);
+:func:`run_table_storage_study` survives as a thin shim over
+:func:`repro.scenario.run_study` returning the same rows as the
+historical implementation (enforced by the golden tests).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import SimulationConfig
-from repro.core.experiments._grid import run_traffic_load_grid
 from repro.exec.backend import ExecutionBackend
+from repro.scenario.builtin import TABLE_SCHEMES, table_storage_study
+from repro.scenario.runner import run_study
 
 __all__ = ["TABLE_SCHEMES", "run_table_storage_study"]
-
-#: Column name -> table organisation, in the paper's column order.
-TABLE_SCHEMES: Dict[str, str] = {
-    "meta_adaptive": "meta-block",
-    "meta_deterministic": "meta-row",
-    "economical": "economical",
-}
 
 
 def run_table_storage_study(
     base_config: SimulationConfig,
     traffic_patterns: Sequence[str] = ("uniform", "transpose"),
     loads: Sequence[float] = (0.1, 0.3),
-    schemes: Dict[str, str] = None,
+    schemes: Optional[Dict[str, str]] = None,
     include_full_table: bool = False,
     backend: Optional[ExecutionBackend] = None,
 ) -> List[Dict[str, object]]:
     """Reproduce Table 4 for the given patterns and loads.
 
+    .. deprecated::
+        Build the study instead:
+        ``run_study(repro.scenario.builtin.table_storage_study(...))``.
+
     Returns one row per (traffic, load) with each scheme's latency, its
     saturation flag and a printable label ("Sat." when saturated).  Set
     ``include_full_table`` to also simulate the full-table organisation
-    explicitly and confirm it matches the economical-storage column.  The
-    whole (traffic, load, scheme) cross product is submitted as one batch
-    through ``backend``.
+    explicitly and confirm it matches the economical-storage column.
     """
-    if schemes is None:
-        schemes = dict(TABLE_SCHEMES)
-    if include_full_table and "full" not in schemes.values():
-        schemes = dict(schemes)
-        schemes["full_table"] = "full"
-
-    def config_of(traffic: str, load: float, cell) -> SimulationConfig:
-        _, table = cell
-        return base_config.variant(
-            traffic=traffic,
-            normalized_load=load,
-            table=table,
-            routing="duato",
-            pipeline="la-proud",
-        )
-
-    def fill_row(row: Dict[str, object], cell, result) -> None:
-        column, _ = cell
-        row[f"{column}_latency"] = result.latency
-        row[f"{column}_saturated"] = result.saturated
-        row[f"{column}_label"] = result.latency_label()
-
-    cells = [
-        (traffic, load, (column, table))
-        for traffic in traffic_patterns
-        for load in loads
-        for column, table in schemes.items()
-    ]
-    return run_traffic_load_grid(cells, config_of, fill_row, backend=backend)
+    warnings.warn(
+        "run_table_storage_study() is deprecated; run the 'table4' Study "
+        "instead (repro.scenario.builtin.table_storage_study + "
+        "repro.scenario.run_study)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    study = table_storage_study(
+        base_config,
+        traffic_patterns=traffic_patterns,
+        loads=loads,
+        schemes=schemes,
+        include_full_table=include_full_table,
+    )
+    return run_study(study, backend=backend).rows

@@ -9,7 +9,13 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 from repro.core.config import SimulationConfig
 from repro.stats.latency import LatencySummary
 
-__all__ = ["SimulationResult", "format_rows", "format_value"]
+__all__ = [
+    "SimulationResult",
+    "format_rows",
+    "format_value",
+    "render_campaign_header",
+    "render_report_section",
+]
 
 
 @dataclass(frozen=True)
@@ -136,3 +142,35 @@ def format_rows(
         for line in rendered
     ]
     return "\n".join([header, separator] + body)
+
+
+def render_report_section(
+    title: str,
+    paper_claim: str,
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 2,
+) -> str:
+    """One experiment section of a campaign/study Markdown report.
+
+    The single renderer behind both the legacy ``ExperimentReport`` and
+    the scenario layer's ``StudyResult`` -- one format, no drift.
+    """
+    table = format_rows(rows, columns=columns, precision=precision)
+    return (
+        f"### {title}\n\n"
+        f"*Paper claim:* {paper_claim}\n\n"
+        f"```\n{table}\n```\n"
+    )
+
+
+def render_campaign_header(config: SimulationConfig) -> str:
+    """The base-configuration header of a campaign/suite Markdown report."""
+    return (
+        "## Reproduction campaign\n\n"
+        f"Base configuration: {config.mesh_dims[0]}x{config.mesh_dims[1]} mesh, "
+        f"{config.message_length}-flit messages, "
+        f"{config.vcs_per_port} VCs/channel, "
+        f"{config.measure_messages} measured messages per point, "
+        f"seed {config.seed}.\n\n"
+    )

@@ -10,109 +10,57 @@ cycle-level kernel and returns a
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional
 
+from repro import registry
 from repro.core.config import SimulationConfig
 from repro.core.results import SimulationResult
 from repro.engine.kernel import KERNEL_MODES, SimulationKernel
 from repro.engine.rng import SimulationRNG
 from repro.network.network import Network
-from repro.network.topology import MeshTopology, Topology, TorusTopology
+from repro.network.topology import Topology
 from repro.router.config import RouterConfig
 from repro.router.pipeline import pipeline_by_name
 from repro.routing.base import RoutingAlgorithm
-from repro.routing.dimension_order import DimensionOrderRouting
-from repro.routing.duato import DuatoFullyAdaptiveRouting
-from repro.routing.turn_model import TurnModelRouting
 from repro.selection.heuristics import make_selector
 from repro.stats.collector import StatsCollector
 from repro.stats.saturation import SaturationPolicy, is_saturated
 from repro.tables.base import RoutingTable
-from repro.tables.economical import EconomicalStorageTable
-from repro.tables.full_table import FullRoutingTable
-from repro.tables.interval import IntervalRoutingTable
-from repro.tables.mappings import BlockClusterMapping, RowClusterMapping
-from repro.tables.meta_table import MetaRoutingTable
 from repro.traffic.generator import TrafficGenerator
-from repro.traffic.injection import (
-    BernoulliInjection,
-    ExponentialInjection,
-    InjectionProcess,
-    message_rate_for_load,
-)
+from repro.traffic.injection import InjectionProcess, message_rate_for_load
 from repro.traffic.patterns import make_pattern
 
 __all__ = ["NetworkSimulator", "build_table", "build_routing", "build_topology"]
 
 
 def build_topology(config: SimulationConfig) -> Topology:
-    """Construct the mesh or torus described by ``config``."""
-    if config.torus:
-        return TorusTopology(config.mesh_dims)
-    return MeshTopology(config.mesh_dims)
+    """Construct the topology described by ``config`` via the registry."""
+    factory = registry.TOPOLOGIES.get(registry.topology_name(config))
+    return factory(config)
 
 
 def build_table(config: SimulationConfig, topology: Topology) -> RoutingTable:
-    """Construct the routing table organisation described by ``config``."""
-    name = config.table
-    if name == "full":
-        return FullRoutingTable(topology)
-    if name == "economical":
-        return EconomicalStorageTable(topology)
-    if name == "meta-row":
-        return MetaRoutingTable(topology, RowClusterMapping(topology))
-    if name == "meta-block":
-        return MetaRoutingTable(topology, BlockClusterMapping(topology))
-    if name == "interval":
-        return IntervalRoutingTable(topology)
-    raise ValueError(
-        f"unknown table organisation {name!r}; expected one of "
-        "'full', 'economical', 'meta-row', 'meta-block', 'interval'"
-    )
+    """Construct the routing table organisation described by ``config``.
+
+    Looks ``config.table`` up in :data:`repro.registry.ROUTING_TABLES`, so
+    user-registered organisations build exactly like the built-ins.
+    """
+    factory = registry.ROUTING_TABLES.get(config.table)
+    return factory(topology, config)
 
 
 def build_routing(
     config: SimulationConfig, topology: Topology, table: RoutingTable
 ) -> RoutingAlgorithm:
-    """Construct the routing algorithm described by ``config``."""
-    name = config.routing
-    if name == "duato":
-        return DuatoFullyAdaptiveRouting(
-            topology, table, num_escape_vcs=config.num_escape_vcs
-        )
-    if name == "dimension-order":
-        return DimensionOrderRouting(topology)
-    if name in ("north-last", "west-first", "negative-first"):
-        return TurnModelRouting(topology, model=name)
-    raise ValueError(
-        f"unknown routing algorithm {name!r}; expected 'duato', 'dimension-order', "
-        "'north-last', 'west-first' or 'negative-first'"
-    )
+    """Construct the routing algorithm described by ``config`` via the
+    :data:`repro.registry.ROUTING_ALGORITHMS` registry."""
+    factory = registry.ROUTING_ALGORITHMS.get(config.routing)
+    return factory(topology, table, config)
 
 
 def _build_injection(config: SimulationConfig, rate: float) -> InjectionProcess:
-    if config.injection == "exponential":
-        return ExponentialInjection(rate)
-    if config.injection == "bernoulli":
-        if rate > 1.0:
-            # A slotted Bernoulli process cannot offer more than one
-            # message per node per cycle; silently clamping would distort
-            # the load axis, so make the distortion loud and record the
-            # effective rate in the result (see SimulationResult).
-            warnings.warn(
-                f"normalized load {config.normalized_load} asks for "
-                f"{rate:.4f} messages/node/cycle, beyond the Bernoulli "
-                "limit of one message per cycle; injecting at the clamped "
-                "rate 1.0 (the result records the effective rate)",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-        return BernoulliInjection(min(rate, 1.0))
-    raise ValueError(
-        f"unknown injection process {config.injection!r}; expected "
-        "'exponential' or 'bernoulli'"
-    )
+    factory = registry.INJECTIONS.get(config.injection)
+    return factory(config, rate)
 
 
 class NetworkSimulator:

@@ -1,13 +1,22 @@
-"""Load sweeps: the latency-versus-normalized-load curves of the paper."""
+"""Load sweeps: the latency-versus-normalized-load curves of the paper.
+
+The sweep now lives in the declarative scenario layer as the built-in
+``sweep`` study (:func:`repro.scenario.builtin.sweep_study`);
+:func:`run_load_sweep` survives as a thin shim that builds the study,
+runs it through :func:`repro.scenario.run_study` and converts the result
+back into :class:`LoadSweepPoint` objects (bit-identical to the
+historical implementation -- enforced by the golden tests).
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.config import SimulationConfig
 from repro.core.results import SimulationResult
-from repro.exec.backend import ExecutionBackend, SerialBackend
+from repro.exec.backend import ExecutionBackend
 
 __all__ = ["LoadSweepPoint", "run_load_sweep"]
 
@@ -38,38 +47,31 @@ def run_load_sweep(
 ) -> List[LoadSweepPoint]:
     """Simulate ``base_config`` at each normalized load in ``loads``.
 
+    .. deprecated::
+        Build the study instead:
+        ``run_study(repro.scenario.builtin.sweep_study(...))``.
+
     When ``stop_at_saturation`` is True the sweep stops after the first
     saturated point (the paper only presents loads "leading up to network
     saturation"); the saturated point itself is included so tables can
-    print "Sat." rows.
-
-    Points are submitted through ``backend`` (default: a fresh
-    :class:`~repro.exec.backend.SerialBackend`).  With saturation stopping,
-    loads are evaluated in waves of ``backend.wave_size`` points so a
-    parallel backend keeps its workers busy; the returned curve is always
-    truncated at the first saturated load, identical to the serial result
-    (a parallel wave may merely simulate -- and cache -- a few points past
-    saturation).
+    print "Sat." rows.  Points are submitted through ``backend`` (default:
+    a fresh :class:`~repro.exec.backend.SerialBackend`); with saturation
+    stopping, loads are evaluated in waves of ``backend.wave_size`` points
+    so a parallel backend keeps its workers busy, and the returned curve
+    is always truncated at the first saturated load.
     """
-    backend = backend if backend is not None else SerialBackend()
-    loads = list(loads)
-    points: List[LoadSweepPoint] = []
-    if not stop_at_saturation:
-        results = backend.run_configs(
-            [base_config.variant(normalized_load=load) for load in loads]
-        )
-        return [
-            LoadSweepPoint(normalized_load=load, result=result)
-            for load, result in zip(loads, results)
-        ]
-    wave_size = max(1, backend.wave_size)
-    for start in range(0, len(loads), wave_size):
-        wave = loads[start : start + wave_size]
-        results = backend.run_configs(
-            [base_config.variant(normalized_load=load) for load in wave]
-        )
-        for load, result in zip(wave, results):
-            points.append(LoadSweepPoint(normalized_load=load, result=result))
-            if result.saturated:
-                return points
-    return points
+    warnings.warn(
+        "run_load_sweep() is deprecated; run the 'sweep' Study instead "
+        "(repro.scenario.builtin.sweep_study + repro.scenario.run_study)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.scenario.builtin import sweep_study
+    from repro.scenario.runner import run_study
+
+    study = sweep_study(base_config, loads, stop_at_saturation=stop_at_saturation)
+    outcome = run_study(study, backend=backend)
+    return [
+        LoadSweepPoint(normalized_load=point.config.normalized_load, result=result)
+        for point, result in zip(outcome.points, outcome.results)
+    ]

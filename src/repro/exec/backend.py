@@ -41,6 +41,19 @@ def simulate_config(config: "SimulationConfig") -> "SimulationResult":
     return NetworkSimulator(config).run()
 
 
+def _import_plugins(plugins: Sequence[str]) -> None:
+    """Worker-process initializer: import plugin modules before simulating.
+
+    Worker processes import repro fresh, so components registered by user
+    code in the parent are unknown there; re-importing the plugin modules
+    (dotted paths or ``.py`` files) restores the registrations.
+    """
+    from repro.registry import load_plugin
+
+    for plugin in plugins:
+        load_plugin(plugin)
+
+
 class ExecutionBackend(ABC):
     """Runs batches of independent simulation points, with optional caching."""
 
@@ -161,11 +174,19 @@ class ProcessPoolBackend(ExecutionBackend):
     :class:`SerialBackend`.
     """
 
-    def __init__(self, workers: Optional[int] = None, cache: Optional[ResultCache] = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        plugins: Sequence[str] = (),
+    ) -> None:
         super().__init__(cache=cache)
         if workers is not None and workers < 1:
             raise ValueError("a process pool needs at least one worker")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        #: Plugin modules imported by every worker before simulating, so
+        #: registry-provided components from user code work under the pool.
+        self.plugins = tuple(plugins)
         self._pool = None
 
     @property
@@ -176,7 +197,14 @@ class ProcessPoolBackend(ExecutionBackend):
         if self._pool is None:
             from concurrent.futures import ProcessPoolExecutor
 
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            if self.plugins:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_import_plugins,
+                    initargs=(self.plugins,),
+                )
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
 
     def _execute(
@@ -224,15 +252,19 @@ class ProcessPoolBackend(ExecutionBackend):
 
 
 def make_backend(
-    workers: Optional[int] = None, cache_dir: Optional[os.PathLike] = None
+    workers: Optional[int] = None,
+    cache_dir: Optional[os.PathLike] = None,
+    plugins: Sequence[str] = (),
 ) -> ExecutionBackend:
     """Build a backend from the CLI-level knobs.
 
     ``workers`` of None/0/1 selects :class:`SerialBackend`; anything larger
     selects :class:`ProcessPoolBackend`.  ``cache_dir`` (when given) attaches
-    a :class:`ResultCache` rooted there.
+    a :class:`ResultCache` rooted there.  ``plugins`` lists plugin modules
+    every pool worker imports before simulating (serial execution relies on
+    the caller having imported them in-process already).
     """
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     if workers is not None and workers > 1:
-        return ProcessPoolBackend(workers=workers, cache=cache)
+        return ProcessPoolBackend(workers=workers, cache=cache, plugins=plugins)
     return SerialBackend(cache=cache)

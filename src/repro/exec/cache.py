@@ -23,11 +23,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = ["CACHE_FORMAT_VERSION", "ResultCache", "config_cache_key"]
 
-#: Bumped whenever the stored-JSON schema or the simulator's numeric
-#: behaviour changes within a release; folded into the key so stale
-#: entries become misses instead of silently serving old results.
+#: Bumped whenever the stored-JSON schema, the simulator's numeric
+#: behaviour or the key derivation changes within a release; folded into
+#: the key so stale entries become misses instead of silently serving old
+#: results.
 #: Version 2: results record the effective per-node message rate.
-CACHE_FORMAT_VERSION = 2
+#: Version 3: the provenance (``module:qualname``) of every
+#: registry-provided component named by the configuration feeds the key,
+#: so a result computed with a plugin component is never served for a
+#: same-named but different implementation (and vice versa).  v2 entries
+#: hash to different file names and are simply never looked at.
+CACHE_FORMAT_VERSION = 3
 
 
 def config_cache_key(config: "SimulationConfig") -> str:
@@ -35,17 +41,21 @@ def config_cache_key(config: "SimulationConfig") -> str:
 
     Two equal configurations always produce the same key, across processes
     and interpreter invocations (``PYTHONHASHSEED`` has no influence).  The
-    package version and cache format version are folded into the hash, so
-    entries computed by a different release of the simulator are never
-    served as current.
+    package version, cache format version and the provenance of every
+    registry-backed component the configuration names are folded into the
+    hash, so entries computed by a different release of the simulator --
+    or by a differently-implemented plugin component -- are never served
+    as current.
     """
     import repro
+    from repro.registry import config_component_provenance
 
     payload = json.dumps(
         {
             "format": CACHE_FORMAT_VERSION,
             "version": repro.__version__,
             "config": config.to_dict(),
+            "components": config_component_provenance(config),
         },
         sort_keys=True,
         separators=(",", ":"),

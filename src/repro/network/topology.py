@@ -338,3 +338,20 @@ class TorusTopology(Topology):
 
     def saturation_flit_rate(self) -> float:
         return 8.0 / max(self._dims)
+
+
+# -- registry factories --------------------------------------------------------------
+
+from repro.registry import register as _register  # noqa: E402  (leaf import)
+
+
+@_register("topology", "mesh")
+def _make_mesh(config) -> MeshTopology:
+    """n-dimensional mesh (no wraparound links)."""
+    return MeshTopology(config.mesh_dims)
+
+
+@_register("topology", "torus")
+def _make_torus(config) -> TorusTopology:
+    """n-dimensional torus (wraparound links in every dimension)."""
+    return TorusTopology(config.mesh_dims)

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.registry import PIPELINES, register
+
 __all__ = ["LA_PROUD", "PROUD", "PipelineTiming", "pipeline_by_name"]
 
 
@@ -81,14 +83,17 @@ PROUD = PipelineTiming(name="proud", depth=5, lookahead=False)
 #: The paper's four-stage pipeline with look-ahead routing.
 LA_PROUD = PipelineTiming(name="la-proud", depth=4, lookahead=True)
 
-_BY_NAME = {PROUD.name: PROUD, LA_PROUD.name: LA_PROUD}
+register("pipeline", PROUD.name, obj=PROUD,
+         provenance=f"{__name__}:PROUD")
+register("pipeline", LA_PROUD.name, obj=LA_PROUD,
+         provenance=f"{__name__}:LA_PROUD")
 
 
 def pipeline_by_name(name: str) -> PipelineTiming:
-    """Look up one of the two paper pipelines by its report name."""
-    try:
-        return _BY_NAME[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown pipeline {name!r}; expected one of {sorted(_BY_NAME)}"
-        ) from None
+    """Look up a registered pipeline timing by its report name.
+
+    User code can register additional :class:`PipelineTiming` instances
+    via ``repro.registry.register("pipeline", name, obj=timing)``.
+    """
+    timing = PIPELINES.get(name)
+    return timing

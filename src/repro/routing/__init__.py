@@ -41,3 +41,40 @@ __all__ = [
     "north_last_provider",
     "west_first_provider",
 ]
+
+
+# -- registry factories --------------------------------------------------------------
+
+from repro.registry import register as _register  # noqa: E402
+
+
+@_register("routing", "duato")
+def _make_duato(topology, table, config) -> DuatoFullyAdaptiveRouting:
+    """Duato's fully adaptive routing with escape virtual channels."""
+    return DuatoFullyAdaptiveRouting(
+        topology, table, num_escape_vcs=config.num_escape_vcs
+    )
+
+
+@_register("routing", "dimension-order")
+def _make_dimension_order(topology, table, config) -> DimensionOrderRouting:
+    """Deterministic dimension-order (XY) routing."""
+    return DimensionOrderRouting(topology)
+
+
+@_register("routing", "north-last")
+def _make_north_last(topology, table, config) -> TurnModelRouting:
+    """North-Last partially adaptive turn-model routing."""
+    return TurnModelRouting(topology, model="north-last")
+
+
+@_register("routing", "west-first")
+def _make_west_first(topology, table, config) -> TurnModelRouting:
+    """West-First partially adaptive turn-model routing."""
+    return TurnModelRouting(topology, model="west-first")
+
+
+@_register("routing", "negative-first")
+def _make_negative_first(topology, table, config) -> TurnModelRouting:
+    """Negative-First partially adaptive turn-model routing."""
+    return TurnModelRouting(topology, model="negative-first")

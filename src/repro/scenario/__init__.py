@@ -1,0 +1,107 @@
+"""Declarative scenario layer: specs, reporters, built-ins and the runner.
+
+Workloads are *data* here, not code: a :class:`Scenario` (one run) or
+:class:`Study` (a named grid/list/suite of runs) round-trips to plain
+JSON, expands deterministically into configuration batches and executes
+through the existing execution backend and result cache via one
+:func:`run_study` entry point::
+
+    from repro.scenario import load_study, run_study
+
+    outcome = run_study(load_study("figure5"))       # built-in spec
+    outcome = run_study(load_study("my_study.json"))  # spec file
+    print(outcome.to_markdown())
+
+New components referenced by a spec (traffic patterns, selectors, ...)
+are registered through :mod:`repro.registry`, either by importing the
+defining module first or by listing it in the spec's ``plugins`` field.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import repro.scenario.reporters  # noqa: F401  (registers the built-in reporters)
+from repro.registry import STUDIES
+from repro.scenario.runner import StudyResult, run_study
+from repro.scenario.spec import (
+    Axis,
+    Coord,
+    Report,
+    Scenario,
+    StopPolicy,
+    Study,
+    StudyPoint,
+    Variant,
+)
+
+__all__ = [
+    "Axis",
+    "Coord",
+    "Report",
+    "Scenario",
+    "StopPolicy",
+    "Study",
+    "StudyPoint",
+    "StudyResult",
+    "Variant",
+    "load_study",
+    "run_study",
+]
+
+
+def _anchor_plugins(study: Study, base_dir: Path) -> Study:
+    """Resolve relative ``.py`` plugin paths against the spec's directory.
+
+    Spec files name their plugins relative to themselves (the natural way
+    to check a spec plus plugin into a repo); resolving here makes the
+    spec runnable from any working directory.  Applied recursively to
+    suite members.
+    """
+    import dataclasses
+
+    def resolve(plugin: str) -> str:
+        if plugin.endswith(".py") and not Path(plugin).is_absolute():
+            return str((base_dir / plugin).resolve())
+        return plugin
+
+    changes = {}
+    if study.plugins:
+        changes["plugins"] = tuple(resolve(plugin) for plugin in study.plugins)
+    if study.members:
+        changes["members"] = tuple(
+            _anchor_plugins(member, base_dir) for member in study.members
+        )
+    return dataclasses.replace(study, **changes) if changes else study
+
+
+def load_study(source) -> Study:
+    """Load a study from a JSON spec file or a built-in study name.
+
+    ``source`` may be a filesystem path (anything existing on disk, or
+    ending in ``.json``) or the name of a registered built-in study
+    (``figure5``, ``table3``, ..., ``sweep``, ``campaign``).  Relative
+    ``.py`` plugin paths in a spec file are resolved against the spec's
+    own directory.
+    """
+    path = Path(source)
+    if path.suffix == ".json" or path.exists():
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise ValueError(f"cannot read study spec {str(source)!r}: {error}") from None
+        try:
+            study = Study.from_json(text)
+        except ValueError:
+            raise
+        except (KeyError, TypeError) as error:
+            # Malformed spec shapes (missing axis "field", wrong types)
+            # surface as one uniform error instead of raw tracebacks.
+            raise ValueError(
+                f"invalid study spec {str(source)!r}: {error!r}"
+            ) from error
+        return _anchor_plugins(study, path.resolve().parent)
+    name = os.fspath(source)
+    builder = STUDIES.get(name)  # raises with the registered alternatives
+    return builder()

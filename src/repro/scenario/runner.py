@@ -1,0 +1,175 @@
+"""Execute declarative studies through the execution backend.
+
+:func:`run_study` is the single entry point of the scenario layer: it
+expands a :class:`~repro.scenario.spec.Study` into configuration batches,
+submits them through an :class:`~repro.exec.backend.ExecutionBackend`
+(serial or process pool, with optional
+:class:`~repro.exec.cache.ResultCache`), applies the study's saturation
+stop policy and reporter, and returns a :class:`StudyResult`.
+
+Every simulation is seeded by its configuration alone, so the outcome is
+bit-identical whichever backend runs it -- which is what lets the legacy
+``run_*`` experiment functions survive as thin shims over this path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.results import (
+    SimulationResult,
+    render_campaign_header,
+    render_report_section,
+)
+from repro.exec.backend import ExecutionBackend, SerialBackend
+from repro.registry import ANALYTICS, REPORTERS, load_plugin
+from repro.scenario.spec import Study, StudyPoint
+
+__all__ = ["StudyResult", "run_study"]
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Everything produced by one :func:`run_study` call."""
+
+    #: The study that was run.
+    study: Study
+    #: The points actually executed, in order (truncated by stop policies).
+    points: Tuple[StudyPoint, ...]
+    #: Simulation results aligned with ``points`` (empty for analytic/suite).
+    results: Tuple[SimulationResult, ...]
+    #: Reporter output: one dictionary per report row.
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    #: Member results, for suite studies.
+    members: Tuple["StudyResult", ...] = ()
+
+    def member(self, name: str) -> "StudyResult":
+        """Look up one member result of a suite by its study name."""
+        for member in self.members:
+            if member.study.name == name:
+                return member
+        raise KeyError(f"no member study named {name!r} in {self.study.name!r}")
+
+    def to_markdown(self) -> str:
+        """Render the study as Markdown, matching the legacy campaign report."""
+        if self.study.kind == "suite":
+            return render_campaign_header(self.study.base_config()) + "\n".join(
+                member.to_markdown() for member in self.members
+            )
+        return render_report_section(
+            self.study.title or self.study.name,
+            self.study.paper_claim or "(not stated)",
+            self.rows,
+            columns=self.study.report.columns,
+        )
+
+
+def _reference_result(
+    study: Study,
+    batch_points: Sequence[StudyPoint],
+    batch_results: Sequence[SimulationResult],
+    reference: str,
+) -> SimulationResult:
+    for point, result in zip(batch_points, batch_results):
+        if point.variant == reference:
+            return result
+    raise ValueError(
+        f"stop policy of study {study.name!r} references variant {reference!r}, "
+        "which is not part of the expanded batch"
+    )
+
+
+def _run_grid_with_stop(
+    study: Study, points: List[StudyPoint], backend: ExecutionBackend
+) -> Tuple[List[StudyPoint], List[SimulationResult]]:
+    """Walk the grid along the stop axis, truncating at saturation.
+
+    The stop axis is the last value axis; the (variant) axes after it form
+    the per-step batch.  ``mode="any"`` walks steps in waves of
+    ``backend.wave_size`` (the load-sweep semantics: a parallel wave may
+    simulate -- and cache -- a few points past saturation, but the
+    returned points always truncate at the first saturated step);
+    ``mode="reference"`` simulates one batch per step and stops when the
+    reference variant saturates.
+    """
+    stop = study.stop
+    assert stop is not None
+    stop_index = max(i for i, axis in enumerate(study.axes) if not axis.is_variant)
+    stop_axis = study.axes[stop_index]
+    inner_count = 1
+    for axis in study.axes[stop_index + 1 :]:
+        inner_count *= len(axis)
+    steps_per_group = len(stop_axis)
+    per_group = steps_per_group * inner_count
+
+    executed: List[StudyPoint] = []
+    results: List[SimulationResult] = []
+    for group_start in range(0, len(points), per_group):
+        group = points[group_start : group_start + per_group]
+        if stop.mode == "reference":
+            for step_start in range(0, len(group), inner_count):
+                batch = group[step_start : step_start + inner_count]
+                batch_results = backend.run_configs([p.config for p in batch])
+                executed.extend(batch)
+                results.extend(batch_results)
+                reference = _reference_result(study, batch, batch_results, stop.reference)
+                if reference.saturated:
+                    break
+        else:  # mode == "any"
+            wave_points = max(1, backend.wave_size) * inner_count
+            stopped = False
+            for wave_start in range(0, len(group), wave_points):
+                wave = group[wave_start : wave_start + wave_points]
+                wave_results = backend.run_configs([p.config for p in wave])
+                for step_start in range(0, len(wave), inner_count):
+                    batch = wave[step_start : step_start + inner_count]
+                    batch_results = wave_results[step_start : step_start + inner_count]
+                    executed.extend(batch)
+                    results.extend(batch_results)
+                    if any(result.saturated for result in batch_results):
+                        stopped = True
+                        break
+                if stopped:
+                    break
+    return executed, results
+
+
+def run_study(
+    study: Study, backend: Optional[ExecutionBackend] = None
+) -> StudyResult:
+    """Run a study and return its :class:`StudyResult`.
+
+    Grid points are submitted through ``backend`` (default: a fresh
+    :class:`~repro.exec.backend.SerialBackend`); cached points are served
+    from disk when the backend carries a
+    :class:`~repro.exec.cache.ResultCache`.  Analytic studies run no
+    simulations and need no backend.  Suite members share the one backend.
+    """
+    for plugin in study.plugins:
+        load_plugin(plugin)
+    if study.kind == "suite":
+        if any(member.kind == "grid" for member in study.members):
+            backend = backend if backend is not None else SerialBackend()
+        members = tuple(run_study(member, backend) for member in study.members)
+        return StudyResult(study=study, points=(), results=(), rows=[], members=members)
+    if study.kind == "analytic":
+        analytic = ANALYTICS.get(study.analytic)
+        rows = analytic(**study.options)
+        return StudyResult(study=study, points=(), results=(), rows=rows)
+    # grid
+    points = study.expand()
+    backend = backend if backend is not None else SerialBackend()
+    if study.stop is None:
+        executed = points
+        results = backend.run_configs([point.config for point in points])
+    else:
+        executed, results = _run_grid_with_stop(study, points, backend)
+    reporter = REPORTERS.get(study.report.reporter)
+    rows = reporter(study, executed, results, **study.report.options)
+    return StudyResult(
+        study=study,
+        points=tuple(executed),
+        results=tuple(results),
+        rows=rows,
+    )

@@ -25,8 +25,9 @@ from __future__ import annotations
 
 import random
 from collections import defaultdict
-from typing import Callable, Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
+from repro.registry import SELECTORS, register
 from repro.selection.base import OutputPortStatus, PathSelector
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
 ]
 
 
+@register("selector")
 class StaticDimensionOrderSelector(PathSelector):
     """STATIC-XY: always prefer the lowest dimension (X first)."""
 
@@ -51,6 +53,7 @@ class StaticDimensionOrderSelector(PathSelector):
         return min(candidates, key=self._static_order).port
 
 
+@register("selector")
 class RandomSelector(PathSelector):
     """Uniform random selection among the candidates."""
 
@@ -60,6 +63,7 @@ class RandomSelector(PathSelector):
         return self._rng.choice(list(candidates)).port
 
 
+@register("selector")
 class FirstFreeSelector(PathSelector):
     """First candidate offered (candidates are already known to be free)."""
 
@@ -69,6 +73,7 @@ class FirstFreeSelector(PathSelector):
         return candidates[0].port
 
 
+@register("selector")
 class MinMuxSelector(PathSelector):
     """MIN-MUX: pick the physical channel with the fewest busy virtual channels."""
 
@@ -80,6 +85,7 @@ class MinMuxSelector(PathSelector):
         ).port
 
 
+@register("selector")
 class LeastFrequentlyUsedSelector(PathSelector):
     """LFU: pick the port with the lowest cumulative usage count.
 
@@ -104,6 +110,7 @@ class LeastFrequentlyUsedSelector(PathSelector):
         ).port
 
 
+@register("selector")
 class LeastRecentlyUsedSelector(PathSelector):
     """LRU: pick the port that was used farthest in the past."""
 
@@ -123,6 +130,7 @@ class LeastRecentlyUsedSelector(PathSelector):
         ).port
 
 
+@register("selector")
 class MaxCreditSelector(PathSelector):
     """MAX-CREDIT: pick the port with the most flow-control credits.
 
@@ -139,31 +147,18 @@ class MaxCreditSelector(PathSelector):
         ).port
 
 
-#: Factories for every selector, keyed by report name.
-_SELECTOR_FACTORIES: Dict[str, Callable[[Optional[random.Random]], PathSelector]] = {
-    StaticDimensionOrderSelector.name: StaticDimensionOrderSelector,
-    RandomSelector.name: RandomSelector,
-    FirstFreeSelector.name: FirstFreeSelector,
-    MinMuxSelector.name: MinMuxSelector,
-    LeastFrequentlyUsedSelector.name: LeastFrequentlyUsedSelector,
-    LeastRecentlyUsedSelector.name: LeastRecentlyUsedSelector,
-    MaxCreditSelector.name: MaxCreditSelector,
-}
-
-#: The selector names accepted by :func:`make_selector`.
-SELECTOR_NAMES = tuple(sorted(_SELECTOR_FACTORIES))
+#: Built-in selector names (plugins registered later do not appear here; use
+#: :meth:`repro.registry.SELECTORS.names` for the live list).
+SELECTOR_NAMES = tuple(sorted(SELECTORS.names()))
 
 
 def make_selector(name: str, rng: Optional[random.Random] = None) -> PathSelector:
     """Instantiate a path selector by its report name.
 
+    Looks ``name`` up in :data:`repro.registry.SELECTORS`, so
+    user-registered heuristics are constructed exactly like the built-ins.
     Every router gets its own instance because the history-based
     heuristics carry per-router state.
     """
-    try:
-        factory = _SELECTOR_FACTORIES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown path-selection heuristic {name!r}; expected one of {SELECTOR_NAMES}"
-        ) from None
+    factory = SELECTORS.get(name)
     return factory(rng)

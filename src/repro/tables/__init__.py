@@ -57,3 +57,38 @@ __all__ = [
     "is_deadlock_free",
     "table_cost_summary",
 ]
+
+
+# -- registry factories --------------------------------------------------------------
+
+from repro.registry import register as _register  # noqa: E402
+
+
+@_register("table", "full")
+def _make_full(topology, config) -> FullRoutingTable:
+    """One table entry per destination node (Cray T3D/T3E organisation)."""
+    return FullRoutingTable(topology)
+
+
+@_register("table", "economical")
+def _make_economical(topology, config) -> EconomicalStorageTable:
+    """The paper's 3^n-entry sign-indexed economical-storage table."""
+    return EconomicalStorageTable(topology)
+
+
+@_register("table", "meta-row")
+def _make_meta_row(topology, config) -> MetaRoutingTable:
+    """Two-level meta-table with the row cluster mapping (minimal adaptivity)."""
+    return MetaRoutingTable(topology, RowClusterMapping(topology))
+
+
+@_register("table", "meta-block")
+def _make_meta_block(topology, config) -> MetaRoutingTable:
+    """Two-level meta-table with the block cluster mapping (maximal adaptivity)."""
+    return MetaRoutingTable(topology, BlockClusterMapping(topology))
+
+
+@_register("table", "interval")
+def _make_interval(topology, config) -> IntervalRoutingTable:
+    """Deterministic interval routing (Transputer C-104 style)."""
+    return IntervalRoutingTable(topology)

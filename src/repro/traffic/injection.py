@@ -11,9 +11,11 @@ message length.
 from __future__ import annotations
 
 import random
+import warnings
 from abc import ABC, abstractmethod
 
 from repro.network.topology import Topology
+from repro.registry import register
 
 __all__ = [
     "BernoulliInjection",
@@ -102,3 +104,34 @@ class BernoulliInjection(InjectionProcess):
         while rng.random() >= self._rate:
             interval += 1
         return float(interval)
+
+
+# -- registry factories --------------------------------------------------------------
+#
+# The simulator builds injection processes through the "injection" registry;
+# each factory receives the full configuration plus the calibrated per-node
+# message rate, so plugins can honour any configuration field they like.
+
+@register("injection", "exponential")
+def _make_exponential(config, rate: float) -> ExponentialInjection:
+    """Poisson arrivals (the paper's injection process)."""
+    return ExponentialInjection(rate)
+
+
+@register("injection", "bernoulli")
+def _make_bernoulli(config, rate: float) -> BernoulliInjection:
+    """Slotted Bernoulli arrivals, clamped (loudly) at one message/cycle."""
+    if rate > 1.0:
+        # A slotted Bernoulli process cannot offer more than one message
+        # per node per cycle; silently clamping would distort the load
+        # axis, so make the distortion loud and record the effective rate
+        # in the result (see SimulationResult).
+        warnings.warn(
+            f"normalized load {config.normalized_load} asks for "
+            f"{rate:.4f} messages/node/cycle, beyond the Bernoulli "
+            "limit of one message per cycle; injecting at the clamped "
+            "rate 1.0 (the result records the effective rate)",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+    return BernoulliInjection(min(rate, 1.0))

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, Optional, Type
+from typing import Optional
 
 from repro.network.topology import Topology
+from repro.registry import TRAFFIC_PATTERNS, register
 
 __all__ = [
     "BitComplementPattern",
@@ -70,6 +71,7 @@ class TrafficPattern(ABC):
         return f"{type(self).__name__}(topology={self._topology!r})"
 
 
+@register("traffic")
 class UniformPattern(TrafficPattern):
     """Every message picks a destination uniformly at random (excluding self)."""
 
@@ -89,6 +91,7 @@ class UniformPattern(TrafficPattern):
         return destination
 
 
+@register("traffic")
 class TransposePattern(TrafficPattern):
     """Matrix-transpose permutation: node (x, y) sends to node (y, x)."""
 
@@ -105,6 +108,7 @@ class TransposePattern(TrafficPattern):
         return None if destination == source else destination
 
 
+@register("traffic")
 class BitReversalPattern(TrafficPattern):
     """Bit-reversal permutation of the binary node address."""
 
@@ -122,6 +126,7 @@ class BitReversalPattern(TrafficPattern):
         return None if destination == source else destination
 
 
+@register("traffic")
 class PerfectShufflePattern(TrafficPattern):
     """Perfect-shuffle permutation: rotate the address left by one bit."""
 
@@ -137,6 +142,7 @@ class PerfectShufflePattern(TrafficPattern):
         return None if destination == source else destination
 
 
+@register("traffic")
 class BitComplementPattern(TrafficPattern):
     """Bit-complement permutation: invert every address bit."""
 
@@ -152,6 +158,7 @@ class BitComplementPattern(TrafficPattern):
         return None if destination == source else destination
 
 
+@register("traffic")
 class TornadoPattern(TrafficPattern):
     """Tornado traffic: move half-way around every dimension.
 
@@ -191,6 +198,7 @@ class TornadoPattern(TrafficPattern):
         return None if destination == source else destination
 
 
+@register("traffic")
 class NearestNeighborPattern(TrafficPattern):
     """Each node sends to its +X neighbour (wrapping at the mesh edge)."""
 
@@ -203,6 +211,7 @@ class NearestNeighborPattern(TrafficPattern):
         return None if destination == source else destination
 
 
+@register("traffic")
 class HotspotPattern(TrafficPattern):
     """Uniform traffic with an extra fraction directed at one hotspot node."""
 
@@ -230,27 +239,16 @@ class HotspotPattern(TrafficPattern):
         return self._uniform.destination(source, rng)
 
 
-_PATTERNS: Dict[str, Type[TrafficPattern]] = {
-    UniformPattern.name: UniformPattern,
-    TransposePattern.name: TransposePattern,
-    BitReversalPattern.name: BitReversalPattern,
-    PerfectShufflePattern.name: PerfectShufflePattern,
-    BitComplementPattern.name: BitComplementPattern,
-    TornadoPattern.name: TornadoPattern,
-    NearestNeighborPattern.name: NearestNeighborPattern,
-    HotspotPattern.name: HotspotPattern,
-}
-
-#: Pattern names accepted by :func:`make_pattern`.
-PATTERN_NAMES = tuple(sorted(_PATTERNS))
+#: Built-in pattern names (plugins registered later do not appear here; use
+#: :meth:`repro.registry.TRAFFIC_PATTERNS.names` for the live list).
+PATTERN_NAMES = tuple(sorted(TRAFFIC_PATTERNS.names()))
 
 
 def make_pattern(name: str, topology: Topology, **kwargs) -> TrafficPattern:
-    """Instantiate a traffic pattern by its report name."""
-    try:
-        pattern_cls = _PATTERNS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown traffic pattern {name!r}; expected one of {PATTERN_NAMES}"
-        ) from None
-    return pattern_cls(topology, **kwargs)
+    """Instantiate a traffic pattern by its report name.
+
+    Looks ``name`` up in :data:`repro.registry.TRAFFIC_PATTERNS`, so
+    user-registered patterns are constructed exactly like the built-ins.
+    """
+    factory = TRAFFIC_PATTERNS.get(name)
+    return factory(topology, **kwargs)

@@ -167,3 +167,120 @@ def test_campaign_command_writes_output_file(tmp_path, capsys):
     assert exit_code == 0
     capsys.readouterr()
     assert output.read_text().startswith("## Reproduction campaign")
+
+
+# -- the study subcommand ------------------------------------------------------------
+
+
+def test_study_list_shows_builtins_and_registries(capsys):
+    assert main(["study", "--list"]) == 0
+    output = capsys.readouterr().out
+    assert "figure5" in output
+    assert "campaign" in output
+    assert "traffic" in output
+    assert "uniform" in output
+
+
+def test_study_without_spec_fails_cleanly():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["study"])
+    assert "spec file or built-in name" in str(excinfo.value)
+
+
+def test_study_unknown_name_lists_alternatives():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["study", "figure99"])
+    assert "figure5" in str(excinfo.value)
+
+
+def test_study_runs_builtin_analytic_by_name(capsys):
+    assert main(["study", "figure7"]) == 0
+    output = capsys.readouterr().out
+    assert "north_last_ports" in output
+    assert "+Y" in output
+
+
+def test_study_runs_a_spec_file_and_writes_output(tmp_path, capsys):
+    from repro.core.config import SimulationConfig
+    from repro.scenario.builtin import sweep_study
+
+    spec = sweep_study(
+        SimulationConfig.tiny(measure_messages=100, warmup_messages=10),
+        loads=(0.1, 0.2),
+        stop_at_saturation=False,
+    )
+    spec_file = tmp_path / "sweep.json"
+    spec_file.write_text(spec.to_json(), encoding="utf-8")
+    report_file = tmp_path / "report.txt"
+    cache_dir = tmp_path / "cache"
+    args = ["study", str(spec_file), "--cache-dir", str(cache_dir),
+            "--output", str(report_file)]
+    assert main(args) == 0
+    captured = capsys.readouterr()
+    assert captured.out.startswith("load")
+    assert report_file.read_text() == captured.out[: len(report_file.read_text())]
+    assert "study sweep: 2 simulations run" in captured.err
+    # Workers and the warm cache reproduce the identical report.
+    assert main([*args, "--workers", "2"]) == 0
+    rerun = capsys.readouterr()
+    assert rerun.out == captured.out
+    assert "0 simulations run" in rerun.err
+
+
+def test_study_campaign_prints_markdown(tmp_path, capsys):
+    # The tiny builtin campaign is the slowest study; trim it via a spec
+    # derived from the shipped one with only the two analytic members.
+    import json as json_module
+
+    from repro.scenario.builtin import spec_path
+
+    data = json_module.loads(spec_path("campaign").read_text(encoding="utf-8"))
+    data["members"] = [m for m in data["members"] if m["kind"] == "analytic"]
+    spec_file = tmp_path / "analytic_campaign.json"
+    spec_file.write_text(json_module.dumps(data), encoding="utf-8")
+    assert main(["study", str(spec_file)]) == 0
+    output = capsys.readouterr().out
+    assert output.startswith("## Reproduction campaign")
+    assert "### Table 5" in output
+    assert "### Figure 7" in output
+
+
+def test_study_rejects_unreadable_spec_file(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["study", str(tmp_path / "missing.json")])
+    assert "cannot read study spec" in str(excinfo.value)
+
+
+def test_study_bad_component_name_fails_cleanly(tmp_path):
+    import json as json_module
+
+    from repro.core.config import SimulationConfig
+
+    base = SimulationConfig.tiny().to_dict()
+    base["traffic"] = "no-such-pattern"
+    spec_file = tmp_path / "bad_component.json"
+    spec_file.write_text(
+        json_module.dumps({"study": "bad", "kind": "grid", "base": base}),
+        encoding="utf-8",
+    )
+    with pytest.raises(SystemExit) as excinfo:
+        main(["study", str(spec_file)])
+    message = str(excinfo.value)
+    assert message.startswith("lapses: cannot run study")
+    assert "no-such-pattern" in message
+
+
+def test_study_malformed_spec_shape_fails_cleanly(tmp_path):
+    import json as json_module
+
+    spec_file = tmp_path / "malformed.json"
+    # An axis without "field"/"variants" is a shape error, not a value error.
+    spec_file.write_text(
+        json_module.dumps(
+            {"study": "bad", "kind": "grid", "base": {}, "axes": [{"values": [1]}]}
+        ),
+        encoding="utf-8",
+    )
+    with pytest.raises(SystemExit) as excinfo:
+        main(["study", str(spec_file)])
+    assert "invalid study spec" in str(excinfo.value)

@@ -1,0 +1,54 @@
+"""Eager registry validation of SimulationConfig string fields."""
+
+import pytest
+
+from repro.core.config import SimulationConfig
+
+
+@pytest.mark.parametrize(
+    "field, expected_alternative",
+    [
+        ("traffic", "uniform"),
+        ("routing", "duato"),
+        ("table", "economical"),
+        ("selector", "static-xy"),
+        ("pipeline", "la-proud"),
+        ("injection", "exponential"),
+    ],
+)
+def test_unknown_component_names_fail_at_construction(field, expected_alternative):
+    with pytest.raises(ValueError) as excinfo:
+        SimulationConfig(**{field: "definitely-not-registered"})
+    message = str(excinfo.value)
+    # The error names the offending field, the bad value and the sorted
+    # registered alternatives.
+    assert f"SimulationConfig.{field}" in message
+    assert "definitely-not-registered" in message
+    assert expected_alternative in message
+
+
+def test_variant_with_unknown_name_fails_eagerly():
+    config = SimulationConfig.tiny()
+    with pytest.raises(ValueError):
+        config.variant(table="gigantic")
+
+
+def test_from_dict_with_unknown_name_fails_eagerly():
+    data = SimulationConfig.tiny().to_dict()
+    data["routing"] = "chaotic"
+    with pytest.raises(ValueError):
+        SimulationConfig.from_dict(data)
+
+
+def test_validate_is_idempotent_on_a_good_config():
+    config = SimulationConfig.tiny()
+    config.validate()
+    config.validate()
+
+
+def test_alternatives_are_sorted():
+    with pytest.raises(ValueError) as excinfo:
+        SimulationConfig(selector="nope")
+    message = str(excinfo.value)
+    listed = message.split("registered alternatives: ")[1].split(", ")
+    assert listed == sorted(listed)

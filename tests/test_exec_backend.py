@@ -197,7 +197,10 @@ def test_completed_points_are_cached_even_if_the_batch_dies(tmp_path):
 def test_pool_caches_completed_points_when_a_worker_fails(tmp_path):
     cache = ResultCache(tmp_path)
     good = SimulationConfig.tiny(measure_messages=50, warmup_messages=5)
-    bad = good.variant(traffic="no-such-pattern")
+    # Unknown component names now fail eagerly at construction, so a
+    # worker-side failure needs a config that passes name validation but
+    # dies during network assembly: bit-reversal needs 2^k nodes.
+    bad = good.variant(mesh_dims=(3, 3), traffic="bit-reversal")
     with ProcessPoolBackend(workers=2, cache=cache) as backend:
         with pytest.raises(Exception):
             backend.run_configs([good, bad])

@@ -148,3 +148,100 @@ def test_cache_key_is_stable_across_processes():
             check=True,
         ).stdout.strip()
         assert output == local_key
+
+
+# -- format v3: component provenance in the key --------------------------------------
+
+
+def test_cache_format_is_v3():
+    from repro.exec.cache import CACHE_FORMAT_VERSION
+
+    assert CACHE_FORMAT_VERSION == 3
+
+
+def _v2_style_key(config):
+    """The pre-v3 key derivation: no component provenance in the payload."""
+    import hashlib
+
+    payload = json.dumps(
+        {"format": 2, "version": repro.__version__, "config": config.to_dict()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def test_old_format_entries_are_ignored_not_misread(cache):
+    # A valid result stored under the old (v2) key derivation must be
+    # invisible to the new code: the lookup is a miss (so the point is
+    # re-simulated and stored under the v3 key), never a misread.
+    config = SimulationConfig.tiny()
+    stale = make_result(config, latency=999.0)
+    old_path = cache.cache_dir / f"{_v2_style_key(config)}.json"
+    old_path.write_text(stale.to_json(), encoding="utf-8")
+    assert cache.get(config) is None
+    assert cache.misses == 1
+    # The stale file is simply never looked at (different file name).
+    assert old_path.exists()
+    fresh = make_result(config, latency=31.0)
+    cache.put(config, fresh)
+    assert cache.get(config) == fresh
+    assert config_cache_key(config) != _v2_style_key(config)
+
+
+def test_component_provenance_feeds_the_key():
+    from repro import registry
+    from repro.traffic.patterns import TrafficPattern
+
+    config_uniform = SimulationConfig.tiny()
+
+    class FirstImpl(TrafficPattern):
+        """Plugin pattern, first implementation."""
+
+        name = "golden-spike"
+
+        def destination(self, source, rng):
+            return None
+
+    class SecondImpl(TrafficPattern):
+        """Plugin pattern, different implementation under the same name."""
+
+        name = "golden-spike"
+
+        def destination(self, source, rng):
+            return 0
+
+    registry.register("traffic", obj=FirstImpl)
+    try:
+        config = SimulationConfig.tiny(traffic="golden-spike")
+        first_key = config_cache_key(config)
+        registry.register("traffic", obj=SecondImpl, replace=True)
+        second_key = config_cache_key(config)
+    finally:
+        registry.TRAFFIC_PATTERNS.unregister("golden-spike")
+    # Same config dict, different implementations: the keys must differ,
+    # and neither may collide with a builtin-only config.
+    assert first_key != second_key
+    assert config_cache_key(config_uniform) not in (first_key, second_key)
+
+
+def test_builtin_keys_are_stable_across_processes(tmp_path):
+    # PYTHONHASHSEED already covered above; this pins that the component
+    # provenance folded into v3 is deterministic too.
+    config = SimulationConfig.tiny()
+    key_here = config_cache_key(config)
+    script = (
+        "import sys; sys.path.insert(0, 'src');"
+        "from repro.core.config import SimulationConfig;"
+        "from repro.exec.cache import config_cache_key;"
+        "print(config_cache_key(SimulationConfig.tiny()))"
+    )
+    completed = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        cwd=Path(__file__).resolve().parent.parent,
+        env={"PYTHONHASHSEED": "31337", "PATH": os.environ.get("PATH", "")},
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip() == key_here

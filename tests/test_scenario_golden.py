@@ -1,0 +1,162 @@
+"""Golden equality: every built-in study reproduces its legacy function.
+
+Each test runs the legacy ``run_*`` entry point (now a deprecation shim)
+and the corresponding built-in study through ``run_study`` against one
+shared result cache, and asserts the outputs are equal object for object.
+The shared cache both keeps the file fast (every configuration simulates
+once) and proves the two paths hash their configurations identically.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.campaign import run_campaign
+from repro.core.config import SimulationConfig
+from repro.core.experiments import (
+    run_cost_table,
+    run_es_programming_example,
+    run_lookahead_comparison,
+    run_message_length_study,
+    run_path_selection_study,
+    run_table_storage_study,
+)
+from repro.core.sweep import run_load_sweep
+from repro.exec.backend import SerialBackend
+from repro.exec.cache import ResultCache
+from repro.scenario import run_study
+from repro.scenario.builtin import (
+    campaign_study,
+    cost_table_study,
+    es_programming_study,
+    lookahead_study,
+    message_length_study,
+    path_selection_study,
+    sweep_study,
+    table_storage_study,
+)
+
+TINY = SimulationConfig.tiny(measure_messages=200, warmup_messages=20)
+PATTERNS = ("uniform",)
+LOADS = (0.1, 0.25)
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("golden-cache")
+
+
+def cached_backend(cache_dir) -> SerialBackend:
+    return SerialBackend(cache=ResultCache(cache_dir))
+
+
+def legacy(function, *args, **kwargs):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return function(*args, **kwargs)
+
+
+def test_sweep_study_matches_run_load_sweep(cache_dir):
+    points = legacy(
+        run_load_sweep, TINY, LOADS, backend=cached_backend(cache_dir)
+    )
+    outcome = run_study(
+        sweep_study(TINY, LOADS), backend=cached_backend(cache_dir)
+    )
+    assert [p.normalized_load for p in points] == [
+        p.config.normalized_load for p in outcome.points
+    ]
+    assert [p.result for p in points] == list(outcome.results)
+
+
+def test_figure5_study_matches_legacy_rows(cache_dir):
+    legacy_rows = legacy(
+        run_lookahead_comparison,
+        TINY,
+        traffic_patterns=PATTERNS,
+        loads=LOADS,
+        backend=cached_backend(cache_dir),
+    )
+    outcome = run_study(
+        lookahead_study(TINY, traffic_patterns=PATTERNS, loads=LOADS),
+        backend=cached_backend(cache_dir),
+    )
+    assert outcome.rows == legacy_rows
+    # Column order matters too: the Markdown tables print first-row order.
+    assert [list(row) for row in outcome.rows] == [list(row) for row in legacy_rows]
+
+
+def test_table3_study_matches_legacy_rows(cache_dir):
+    kwargs = {"message_lengths": (2, 8), "traffic": "uniform", "load": LOADS[0]}
+    legacy_rows = legacy(
+        run_message_length_study, TINY, backend=cached_backend(cache_dir), **kwargs
+    )
+    outcome = run_study(
+        message_length_study(TINY, **kwargs), backend=cached_backend(cache_dir)
+    )
+    assert outcome.rows == legacy_rows
+    assert [list(row) for row in outcome.rows] == [list(row) for row in legacy_rows]
+
+
+def test_figure6_study_matches_legacy_rows(cache_dir):
+    kwargs = {"traffic_patterns": PATTERNS, "loads": LOADS[-1:]}
+    legacy_rows = legacy(
+        run_path_selection_study, TINY, backend=cached_backend(cache_dir), **kwargs
+    )
+    outcome = run_study(
+        path_selection_study(TINY, **kwargs), backend=cached_backend(cache_dir)
+    )
+    assert outcome.rows == legacy_rows
+    assert [list(row) for row in outcome.rows] == [list(row) for row in legacy_rows]
+
+
+def test_table4_study_matches_legacy_rows(cache_dir):
+    kwargs = {"traffic_patterns": PATTERNS, "loads": LOADS, "include_full_table": True}
+    legacy_rows = legacy(
+        run_table_storage_study, TINY, backend=cached_backend(cache_dir), **kwargs
+    )
+    outcome = run_study(
+        table_storage_study(TINY, **kwargs), backend=cached_backend(cache_dir)
+    )
+    assert outcome.rows == legacy_rows
+    assert [list(row) for row in outcome.rows] == [list(row) for row in legacy_rows]
+
+
+def test_table5_study_matches_legacy_rows():
+    legacy_rows = legacy(run_cost_table, num_nodes=16, n_dims=2)
+    outcome = run_study(cost_table_study(num_nodes=16, n_dims=2))
+    assert outcome.rows == legacy_rows
+
+
+def test_figure7_study_matches_legacy_rows():
+    legacy_rows = legacy(run_es_programming_example)
+    outcome = run_study(es_programming_study())
+    assert outcome.rows == legacy_rows
+
+
+def test_campaign_suite_markdown_matches_legacy_report(cache_dir):
+    report = legacy(
+        run_campaign,
+        TINY,
+        loads_low_high=LOADS,
+        traffic_patterns=PATTERNS,
+        backend=cached_backend(cache_dir),
+    )
+    outcome = run_study(
+        campaign_study(TINY, loads_low_high=LOADS, traffic_patterns=PATTERNS),
+        backend=cached_backend(cache_dir),
+    )
+    assert outcome.to_markdown() == report.to_markdown()
+    for experiment in report.experiments:
+        assert outcome.member(experiment.name).rows == experiment.rows
+
+
+def test_shared_cache_served_both_paths(cache_dir):
+    # Every simulation-backed test above ran its legacy and study variants
+    # against the same cache; identical configurations means the second
+    # pass was served from disk, which only works when both paths hash
+    # their configurations identically.
+    backend = cached_backend(cache_dir)
+    run_study(sweep_study(TINY, LOADS), backend=backend)
+    assert backend.simulations_run == 0
+    assert backend.cache.hits == len(LOADS)

@@ -1,0 +1,258 @@
+"""run_study(): execution semantics, stop policies, backends and caching."""
+
+from typing import List, Sequence
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.exec.backend import ExecutionBackend, ProcessPoolBackend, SerialBackend
+from repro.exec.cache import ResultCache
+from repro.scenario import Axis, Report, Scenario, StopPolicy, Study, Variant, run_study
+from repro.scenario.builtin import (
+    cost_table_study,
+    es_programming_study,
+    single_run_study,
+    sweep_study,
+)
+from repro.stats.latency import LatencySummary
+
+TINY = SimulationConfig.tiny(measure_messages=150, warmup_messages=20)
+
+
+def scripted_result(config: SimulationConfig, saturated: bool) -> SimulationResult:
+    summary = LatencySummary(
+        created=10,
+        delivered=10,
+        measured=10,
+        avg_total_latency=100.0 * config.normalized_load,
+        avg_network_latency=90.0 * config.normalized_load,
+        std_total_latency=1.0,
+        max_total_latency=200.0,
+        avg_hops=4.0,
+        throughput=config.normalized_load,
+        cycles=1000,
+        completion_ratio=1.0,
+        saturated=saturated,
+    )
+    return SimulationResult(
+        config=config, summary=summary, zero_load_latency=20.0, cycles=1000
+    )
+
+
+class ScriptedBackend(ExecutionBackend):
+    """Fabricates results instantly; saturates at/above a load threshold."""
+
+    def __init__(self, wave_size: int = 1, saturation_load: float = 0.5, cache=None):
+        super().__init__(cache=cache)
+        self._wave_size = wave_size
+        self.saturation_load = saturation_load
+        self.executed: List[SimulationConfig] = []
+
+    @property
+    def wave_size(self) -> int:
+        return self._wave_size
+
+    def _execute(self, configs: Sequence[SimulationConfig], on_result):
+        results = []
+        for index, config in enumerate(configs):
+            self.executed.append(config)
+            result = scripted_result(
+                config, saturated=config.normalized_load >= self.saturation_load
+            )
+            on_result(index, result)
+            results.append(result)
+        return results
+
+
+# -- real simulations through the study path ---------------------------------------
+
+
+def test_single_run_study_produces_one_summary_row():
+    outcome = run_study(single_run_study(TINY))
+    assert len(outcome.points) == 1
+    assert len(outcome.rows) == 1
+    assert outcome.rows[0]["traffic"] == "uniform"
+    assert outcome.rows[0]["latency"] > 0
+
+
+def test_analytic_studies_need_no_backend():
+    outcome = run_study(cost_table_study(num_nodes=16, n_dims=2))
+    assert outcome.points == ()
+    assert any("economical" in str(row.values()) for row in outcome.rows)
+    figure7 = run_study(es_programming_study())
+    assert len(figure7.rows) == 9
+
+
+def test_results_are_backend_independent_and_cached(tmp_path):
+    study = sweep_study(TINY, loads=(0.05, 0.15), stop_at_saturation=False)
+    serial = run_study(study, backend=SerialBackend())
+    cache = ResultCache(tmp_path)
+    with ProcessPoolBackend(workers=2, cache=cache) as backend:
+        pooled = run_study(study, backend=backend)
+        assert backend.simulations_run == 2
+    assert pooled.results == serial.results
+    # Second run is served entirely from the cache.
+    cached_backend = SerialBackend(cache=ResultCache(tmp_path))
+    rerun = run_study(study, backend=cached_backend)
+    assert cached_backend.simulations_run == 0
+    assert rerun.results == serial.results
+
+
+def test_explicit_scenarios_run_through_the_batch_path():
+    study = Study(
+        name="listed",
+        base=TINY.to_dict(),
+        scenarios=(
+            Scenario(name="slow", overrides={"normalized_load": 0.05}),
+            Scenario(name="fast", overrides={"normalized_load": 0.2}),
+        ),
+        report=Report(reporter="summary"),
+    )
+    outcome = run_study(study)
+    assert [row["load"] for row in outcome.rows] == [0.05, 0.2]
+
+
+def test_suite_members_share_one_backend(tmp_path):
+    member = sweep_study(TINY, loads=(0.05,), stop_at_saturation=False)
+    suite = Study(
+        name="mini-suite",
+        kind="suite",
+        base=TINY.to_dict(),
+        members=(
+            member,
+            cost_table_study(num_nodes=16, n_dims=2),
+        ),
+    )
+    backend = SerialBackend(cache=ResultCache(tmp_path))
+    outcome = run_study(suite, backend=backend)
+    assert backend.simulations_run == 1
+    assert outcome.member("sweep").rows
+    assert outcome.member("table5").rows
+    with pytest.raises(KeyError):
+        outcome.member("nope")
+    markdown = outcome.to_markdown()
+    assert markdown.startswith("## Reproduction campaign")
+
+
+# -- stop-policy semantics (scripted backend, no real simulations) -----------------
+
+
+def test_sweep_stops_at_first_saturated_load():
+    study = sweep_study(TINY, loads=(0.1, 0.6, 0.2, 0.3))
+    backend = ScriptedBackend(saturation_load=0.5)
+    outcome = run_study(study, backend=backend)
+    # The saturated point is kept, later loads are never simulated.
+    assert [p.config.normalized_load for p in outcome.points] == [0.1, 0.6]
+    assert [c.normalized_load for c in backend.executed] == [0.1, 0.6]
+    assert outcome.results[-1].saturated
+    assert outcome.rows[-1]["latency"] == "Sat."
+
+
+def test_sweep_wave_may_simulate_past_saturation_but_rows_truncate():
+    study = sweep_study(TINY, loads=(0.1, 0.6, 0.2, 0.3))
+    backend = ScriptedBackend(wave_size=4, saturation_load=0.5)
+    outcome = run_study(study, backend=backend)
+    # The whole wave was simulated (and would be cached)...
+    assert len(backend.executed) == 4
+    # ...but the reported curve still truncates at the saturated load.
+    assert [p.config.normalized_load for p in outcome.points] == [0.1, 0.6]
+
+
+def _reference_stop_study(loads) -> Study:
+    return Study(
+        name="ref-stop",
+        base=TINY.to_dict(),
+        axes=(
+            Axis(field="traffic", values=("uniform", "transpose")),
+            Axis(field="normalized_load", values=tuple(loads), label="load"),
+            Axis(
+                name="router",
+                variants=(
+                    Variant(name="det", overrides={"routing": "dimension-order"}),
+                    Variant(name="ref", overrides={"routing": "duato"}),
+                ),
+            ),
+        ),
+        stop=StopPolicy(mode="reference", reference="ref"),
+        report=Report(reporter="reference-relative", options={"reference": "ref"}),
+    )
+
+
+def test_reference_stop_breaks_per_outer_group():
+    study = _reference_stop_study(loads=(0.1, 0.6, 0.2))
+    backend = ScriptedBackend(saturation_load=0.5)
+    outcome = run_study(study, backend=backend)
+    per_traffic = {}
+    for point in outcome.points:
+        per_traffic.setdefault(point.coord("traffic"), []).append(
+            (point.coord("load"), point.variant)
+        )
+    # Each traffic pattern walks its own loads, records the saturating
+    # batch, and never simulates the load after it.
+    expected = [(0.1, "det"), (0.1, "ref"), (0.6, "det"), (0.6, "ref")]
+    assert per_traffic == {"uniform": expected, "transpose": expected}
+    # Rows exist for both loads of both patterns.
+    assert [(row["traffic"], row["load"]) for row in outcome.rows] == [
+        ("uniform", 0.1), ("uniform", 0.6),
+        ("transpose", 0.1), ("transpose", 0.6),
+    ]
+
+
+def test_reference_stop_requires_the_reference_variant():
+    # Caught at spec construction, before any simulation is burned.
+    with pytest.raises(ValueError) as excinfo:
+        Study(
+            name="missing-ref",
+            base=TINY.to_dict(),
+            axes=(
+                Axis(field="normalized_load", values=(0.1,), label="load"),
+                Axis(name="router", variants=(Variant(name="only", overrides={}),)),
+            ),
+            stop=StopPolicy(mode="reference", reference="ghost"),
+            report=Report(reporter="summary"),
+        )
+    assert "ghost" in str(excinfo.value)
+
+
+def test_reference_stop_rejects_misordered_axes():
+    # The variant axis must come after the stop (last value) axis.
+    with pytest.raises(ValueError) as excinfo:
+        Study(
+            name="misordered",
+            base=TINY.to_dict(),
+            axes=(
+                Axis(
+                    name="router",
+                    variants=(Variant(name="ref", overrides={}),),
+                ),
+                Axis(field="normalized_load", values=(0.1,), label="load"),
+            ),
+            stop=StopPolicy(mode="reference", reference="ref"),
+            report=Report(reporter="summary"),
+        )
+    assert "reorder the axes" in str(excinfo.value)
+
+
+def test_any_stop_with_variant_axis_keeps_whole_batches():
+    study = Study(
+        name="batched",
+        base=TINY.to_dict(),
+        axes=(
+            Axis(field="normalized_load", values=(0.1, 0.6, 0.2), label="load"),
+            Axis(
+                name="seed",
+                variants=(
+                    Variant(name="s1", overrides={"seed": 1}),
+                    Variant(name="s2", overrides={"seed": 2}),
+                ),
+            ),
+        ),
+        stop=StopPolicy(mode="any"),
+        report=Report(reporter="variant-grid"),
+    )
+    outcome = run_study(study, backend=ScriptedBackend(saturation_load=0.5))
+    # Both variants of the saturated load are recorded; load 0.2 is not.
+    assert [(p.coord("load"), p.variant) for p in outcome.points] == [
+        (0.1, "s1"), (0.1, "s2"), (0.6, "s1"), (0.6, "s2"),
+    ]
