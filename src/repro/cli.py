@@ -131,6 +131,10 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="path-selection heuristic")
     parser.add_argument("--vcs", type=int, default=4,
                         help="virtual channels per physical channel")
+    parser.add_argument("--switch-mode", choices=("batched", "reference"),
+                        default="batched", dest="switch_mode",
+                        help="router busy-path schedule: flat batched pass "
+                             "(default) or the per-channel reference")
     parser.add_argument("--messages", type=int, default=1200,
                         help="measured messages per data point")
     parser.add_argument("--warmup", type=int, default=150,
@@ -149,6 +153,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         table=args.table,
         selector=args.selector,
         vcs_per_port=args.vcs,
+        switch_mode=args.switch_mode,
         measure_messages=args.messages,
         warmup_messages=args.warmup,
         seed=args.seed,

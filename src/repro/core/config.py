@@ -66,6 +66,11 @@ class SimulationConfig:
     link_delay: int = 1
     #: Credit return delay in cycles.
     credit_delay: int = 1
+    #: Router busy-path schedule: ``"batched"`` (flat pass over the active
+    #: virtual-channel set, the default) or ``"reference"`` (per-channel
+    #: traversal kept as the executable specification).  Both schedules
+    #: are bit-identical; see :mod:`repro.router.switch`.
+    switch_mode: str = "batched"
 
     # -- routing -----------------------------------------------------------------------
     #: ``"duato"``, ``"dimension-order"``, ``"north-last"``, ``"west-first"`` or

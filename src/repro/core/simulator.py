@@ -77,6 +77,11 @@ class NetworkSimulator:
         bit-identical results (enforced by
         ``tests/test_kernel_equivalence.py``); the exhaustive schedule is
         kept as the reference implementation.
+
+    The router busy path has the same two-implementations-one-semantics
+    split, selected by ``config.switch_mode`` (``"batched"`` default,
+    ``"reference"`` specification; enforced bit-identical by
+    ``tests/test_router_equivalence.py``).  The two axes compose freely.
     """
 
     def __init__(self, config: SimulationConfig, kernel_mode: str = "activity") -> None:
@@ -95,6 +100,7 @@ class NetworkSimulator:
             pipeline=pipeline_by_name(config.pipeline),
             link_delay=config.link_delay,
             credit_delay=config.credit_delay,
+            switch_mode=config.switch_mode,
         )
         message_rate = message_rate_for_load(
             self._topology, config.message_length, config.normalized_load

@@ -33,7 +33,11 @@ __all__ = ["CACHE_FORMAT_VERSION", "ResultCache", "config_cache_key"]
 #: so a result computed with a plugin component is never served for a
 #: same-named but different implementation (and vice versa).  v2 entries
 #: hash to different file names and are simply never looked at.
-CACHE_FORMAT_VERSION = 3
+#: Version 4: configurations grew the ``switch_mode`` field (router
+#: busy-path schedule) and its schedule provenance joins the component
+#: map, so entries computed before the batched allocator existed are
+#: never served as current.
+CACHE_FORMAT_VERSION = 4
 
 
 def config_cache_key(config: "SimulationConfig") -> str:

@@ -56,6 +56,7 @@ class NetworkInterface:
         self._node_id = node_id
         self._router = router
         self._routing = routing
+        self._decide = routing.decide_cached
         self._stats = stats
         self._source = source
         config = router.config
@@ -153,7 +154,7 @@ class NetworkInterface:
                 # First-hop lookup performed by the interface so the header
                 # arrives at the source router ready for arbitration.
                 header.lookahead_node = self._node_id
-                header.lookahead_decision = self._routing.decide(
+                header.lookahead_decision = self._decide(
                     self._node_id, message.destination
                 )
 

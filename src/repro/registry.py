@@ -1,10 +1,10 @@
 """Named, introspectable plugin registries for every pluggable component.
 
-The simulator is assembled from seven kinds of interchangeable parts --
+The simulator is assembled from eight kinds of interchangeable parts --
 topologies, routing algorithms, routing-table organisations,
-path-selection heuristics, traffic patterns, injection processes and
-router pipelines -- plus the scenario layer's reporters, analytic
-experiments and built-in studies.  Each kind has a :class:`Registry`
+path-selection heuristics, traffic patterns, injection processes, router
+pipelines and switch-allocation schedules -- plus the scenario layer's
+reporters, analytic experiments and built-in studies.  Each kind has a :class:`Registry`
 mapping report names (the strings stored in
 :class:`~repro.core.config.SimulationConfig`) to factories, so user code
 can plug in new components without touching repro internals::
@@ -29,6 +29,7 @@ Factory signatures by kind (what the simulator calls for each entry):
 ``traffic``    ``factory(topology, **kwargs) -> TrafficPattern``
 ``injection``  ``factory(config, rate) -> InjectionProcess``
 ``pipeline``   a :class:`~repro.router.pipeline.PipelineTiming` instance
+``switch``     a :class:`~repro.router.switch.SwitchSchedule` instance
 ``reporter``   ``reporter(study, points, results, **options) -> rows``
 ``analytic``   ``analytic(**options) -> rows``
 ``study``      ``builder() -> Study`` (default-parameter built-in study)
@@ -62,6 +63,7 @@ __all__ = [
     "RegistryEntry",
     "SELECTORS",
     "STUDIES",
+    "SWITCH_MODES",
     "TOPOLOGIES",
     "TRAFFIC_PATTERNS",
     "describe_registries",
@@ -253,6 +255,7 @@ SELECTORS = Registry("path-selection heuristic", ["repro.selection.heuristics"])
 TRAFFIC_PATTERNS = Registry("traffic pattern", ["repro.traffic.patterns"])
 INJECTIONS = Registry("injection process", ["repro.traffic.injection"])
 PIPELINES = Registry("router pipeline", ["repro.router.pipeline"])
+SWITCH_MODES = Registry("switch-allocation schedule", ["repro.router.switch"])
 REPORTERS = Registry("study reporter", ["repro.scenario.reporters"])
 ANALYTICS = Registry(
     "analytic experiment",
@@ -269,6 +272,7 @@ REGISTRIES: Dict[str, Registry] = {
     "traffic": TRAFFIC_PATTERNS,
     "injection": INJECTIONS,
     "pipeline": PIPELINES,
+    "switch": SWITCH_MODES,
     "reporter": REPORTERS,
     "analytic": ANALYTICS,
     "study": STUDIES,
@@ -307,6 +311,7 @@ CONFIG_FIELD_KINDS: Dict[str, str] = {
     "table": "table",
     "selector": "selector",
     "pipeline": "pipeline",
+    "switch_mode": "switch",
     "injection": "injection",
 }
 

@@ -46,6 +46,7 @@ class InputVirtualChannel:
         "ready_cycle",
         "out_port",
         "out_vc",
+        "out_channel",
     )
 
     def __init__(self, port: int, vc: int, capacity: int) -> None:
@@ -60,6 +61,10 @@ class InputVirtualChannel:
         #: Allocated output port / virtual channel (valid when ACTIVE).
         self.out_port: Optional[int] = None
         self.out_vc: Optional[int] = None
+        #: The allocated :class:`OutputVirtualChannel` object itself,
+        #: cached so the switch-allocation inner loop reads the credit
+        #: counter without re-indexing through the output port each cycle.
+        self.out_channel: Optional["OutputVirtualChannel"] = None
 
     @property
     def occupancy(self) -> int:
@@ -92,6 +97,7 @@ class InputVirtualChannel:
         self.state = VCState.IDLE
         self.out_port = None
         self.out_vc = None
+        self.out_channel = None
 
     def __repr__(self) -> str:
         return (

@@ -7,7 +7,7 @@ top-level simulation configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.router.pipeline import PROUD, PipelineTiming
 
@@ -33,6 +33,12 @@ class RouterConfig:
         Cycles to traverse a link between two routers (1 in the paper).
     credit_delay:
         Cycles for a credit to travel back to the upstream router.
+    switch_mode:
+        Busy-path schedule: ``"batched"`` (default) runs VC and switch
+        allocation as one flat pass over the maintained active-channel
+        set; ``"reference"`` keeps the per-channel traversal as the
+        executable specification.  Both are bit-identical; see
+        :mod:`repro.router.switch`.
     """
 
     vcs_per_port: int = 4
@@ -40,6 +46,7 @@ class RouterConfig:
     pipeline: PipelineTiming = field(default_factory=lambda: PROUD)
     link_delay: int = 1
     credit_delay: int = 1
+    switch_mode: str = "batched"
 
     def __post_init__(self) -> None:
         if self.vcs_per_port < 1:
@@ -50,13 +57,16 @@ class RouterConfig:
             raise ValueError("links need at least one cycle of delay")
         if self.credit_delay < 1:
             raise ValueError("credit return needs at least one cycle of delay")
+        # Resolve eagerly so a typo fails at configuration time, with the
+        # registry's standard unknown-name message.
+        self.switch_schedule()
+
+    def switch_schedule(self):
+        """The registered :class:`~repro.router.switch.SwitchSchedule`."""
+        from repro.router.switch import switch_schedule_by_name
+
+        return switch_schedule_by_name(self.switch_mode)
 
     def with_pipeline(self, pipeline: PipelineTiming) -> "RouterConfig":
         """A copy of this configuration with a different pipeline."""
-        return RouterConfig(
-            vcs_per_port=self.vcs_per_port,
-            buffer_depth=self.buffer_depth,
-            pipeline=pipeline,
-            link_delay=self.link_delay,
-            credit_delay=self.credit_delay,
-        )
+        return replace(self, pipeline=pipeline)

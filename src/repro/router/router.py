@@ -21,10 +21,38 @@ Under no contention a header therefore spends ``depth + link_delay``
 cycles per hop -- 6 for PROUD and 5 for LA-PROUD with the paper's
 unit-delay links -- which is exactly the contention-free router latency of
 Table 2.
+
+Switch-allocation schedules
+---------------------------
+The per-cycle busy path (virtual-channel allocation plus the two-stage
+switch allocation) has two implementations over one semantics, selected
+by :attr:`RouterConfig.switch_mode` (see :mod:`repro.router.switch`):
+
+``"reference"``
+    Visits every input virtual channel of every port each cycle and
+    arbitrates through :meth:`RoundRobinArbiter.grant`.  Kept as the
+    executable specification.
+
+``"batched"``
+    The default.  The router maintains two sorted membership arrays of
+    flat ``port * vcs + vc`` indices -- channels in the ROUTING state and
+    channels in the ACTIVE state -- updated incrementally at the three
+    state-transition sites (header arrival, output-VC allocation, tail
+    departure; the same events the kernel's quiescence hooks observe).
+    Per-cycle work then touches only those arrays: the VC-allocation pass
+    walks the ROUTING array, and switch allocation nominates and grants
+    in one flat pass over the ACTIVE array using the arbiters'
+    sorted-request fast path, with per-flit statistics accumulated per
+    pass.  Iteration order over the sorted arrays equals the reference's
+    port-major/VC-minor traversal, so arbitration outcomes, selector
+    consultations and RNG draws are bit-identical; this is enforced by
+    ``tests/test_router_equivalence.py`` and
+    ``tests/test_router_properties.py``.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
@@ -45,6 +73,13 @@ from repro.traffic.message import Flit
 __all__ = ["Router"]
 
 
+def _membership_remove(members: List[int], flat: int) -> None:
+    """Remove ``flat`` from a sorted membership array if present."""
+    index = bisect_left(members, flat)
+    if index < len(members) and members[index] == flat:
+        del members[index]
+
+
 class Router:
     """A single pipelined wormhole router.
 
@@ -55,7 +90,8 @@ class Router:
     topology:
         Network topology (used for neighbor lookup and port geometry).
     config:
-        Microarchitectural parameters (VCs, buffers, pipeline, delays).
+        Microarchitectural parameters (VCs, buffers, pipeline, delays,
+        switch-allocation schedule).
     routing:
         Routing algorithm providing per-destination port candidates and
         the virtual-channel class partition.
@@ -77,17 +113,26 @@ class Router:
         self._config = config
         self._pipeline = config.pipeline
         self._routing = routing
+        #: Bound memoized-decide entry point (one shared memo per network;
+        #: see ``RoutingAlgorithm.decision_cache``).
+        self._decide = routing.decide_cached
         self._selector = selector
         self._vc_classes = routing.vc_classes(config.vcs_per_port)
 
         radix = topology.radix
         self._radix = radix
+        self._vcs = config.vcs_per_port
         self._inputs: List[List[InputVirtualChannel]] = [
             [
                 InputVirtualChannel(port, vc, config.buffer_depth)
                 for vc in range(config.vcs_per_port)
             ]
             for port in range(radix)
+        ]
+        #: The input channels as one flat array indexed by
+        #: ``port * vcs_per_port + vc`` (the batched pass's address space).
+        self._channels_flat: List[InputVirtualChannel] = [
+            channel for per_port in self._inputs for channel in per_port
         ]
         self._outputs: List[OutputPort] = [
             OutputPort(port, config.vcs_per_port, config.buffer_depth)
@@ -103,6 +148,11 @@ class Router:
         self._credit_mailboxes: List[Deque[Tuple[int, int]]] = [
             deque() for _ in range(radix)
         ]
+        #: Entries currently enqueued across all mailboxes of each kind;
+        #: lets ``deliver`` and ``next_event_cycle`` skip the per-port
+        #: scans entirely when nothing is in flight.
+        self._pending_flits = 0
+        self._pending_credits = 0
         # Crossbar arbiters: one per input port (among its VCs) and one per
         # output port (among the input ports).
         self._input_arbiters = [
@@ -114,6 +164,10 @@ class Router:
         #: Input virtual channels not in the IDLE state (cheap quiescence
         #: check; kept exact by the three state-transition sites below).
         self._occupied_channels = 0
+        #: Sorted flat indices of channels in the ROUTING state (awaiting
+        #: an output virtual channel) and in the ACTIVE state (owning one).
+        self._routing_members: List[int] = []
+        self._active_members: List[int] = []
         #: Whether this cycle's switch stage released an output virtual
         #: channel.  VC allocation runs *before* switch allocation within
         #: ``evaluate``, so a header that failed allocation this cycle may
@@ -121,6 +175,36 @@ class Router:
         #: event no mailbox wake reports, because it is internal to this
         #: router.  ``next_event_cycle`` consults this flag.
         self._released_output_vc = False
+
+        #: Which busy-path schedule to run (see module docstring).
+        self._batched = config.switch_schedule().batched
+        # Preallocated scratch of the batched pass (reused every cycle so
+        # the hot loop allocates nothing).
+        self._out_requests: List[List[InputVirtualChannel]] = [
+            [] for _ in range(radix)
+        ]
+        self._touched_outputs: List[int] = []
+        #: Round-robin priority pointers of the batched pass.  They mirror
+        #: the :class:`RoundRobinArbiter` pointers bit for bit -- both
+        #: start at slot 0 and advance to one past the winner on every
+        #: grant -- but live in flat integer arrays so the hot loop reads
+        #: them without a method call.  (The arbiter objects remain the
+        #: reference schedule's -- and the tests' -- entry point.)
+        self._input_priorities: List[int] = [0] * radix
+        self._output_priorities: List[int] = [0] * radix
+
+        # Hot-path constants hoisted out of the per-flit loops.
+        self._selection_offset = self._pipeline.selection_offset
+        self._lookahead = self._pipeline.lookahead
+        self._local_delay = self._pipeline.switch_delay
+        self._link_hop_delay = self._pipeline.switch_delay + config.link_delay
+        self._credit_delay = config.credit_delay
+        #: Whether the selector actually listens to ``record_use``
+        #: notifications (history-based heuristics); detected once so the
+        #: per-flit forward path skips the no-op call for the others.
+        self._selector_records = (
+            getattr(type(selector), "record_use", None) is not PathSelector.record_use
+        )
 
         #: Statistics: flits forwarded through the crossbar and headers routed.
         self.flits_forwarded = 0
@@ -148,6 +232,11 @@ class Router:
         """Routing algorithm used by the decision block."""
         return self._routing
 
+    @property
+    def switch_mode(self) -> str:
+        """The busy-path schedule in use ("reference" or "batched")."""
+        return self._config.switch_mode
+
     def connect_output(self, port: int, target: object, target_port: int) -> None:
         """Attach ``target`` (a router or network interface) downstream of
         ``port``.  ``target`` must expose ``receive_flit(port, vc, flit, cycle)``."""
@@ -172,11 +261,13 @@ class Router:
     def receive_flit(self, port: int, vc: int, flit: Flit, arrival_cycle: int) -> None:
         """Schedule a flit to appear in input ``(port, vc)`` at ``arrival_cycle``."""
         self._flit_mailboxes[port].append((arrival_cycle, vc, flit))
+        self._pending_flits += 1
         self._wake(arrival_cycle)
 
     def receive_credit(self, port: int, vc: int, arrival_cycle: int) -> None:
         """Schedule a credit return for output ``(port, vc)`` at ``arrival_cycle``."""
         self._credit_mailboxes[port].append((arrival_cycle, vc))
+        self._pending_credits += 1
         self._wake(arrival_cycle)
 
     def free_input_vcs(self, port: int) -> List[int]:
@@ -191,43 +282,68 @@ class Router:
 
     def deliver(self, cycle: int) -> None:
         """Absorb flits and credits whose link traversal completes this cycle."""
-        for port in range(self._radix):
-            mailbox = self._flit_mailboxes[port]
-            while mailbox and mailbox[0][0] <= cycle:
-                _, vc, flit = mailbox.popleft()
-                channel = self._inputs[port][vc]
-                flit.arrival_cycle = cycle
-                channel.push(flit)
-                if (
-                    flit.is_head
-                    and channel.state is VCState.IDLE
-                    and len(channel.buffer) == 1
-                ):
-                    channel.state = VCState.ROUTING
-                    channel.ready_cycle = cycle + self._pipeline.selection_offset
-                    self._occupied_channels += 1
-            credits = self._credit_mailboxes[port]
-            while credits and credits[0][0] <= cycle:
-                _, vc = credits.popleft()
-                self._outputs[port].vcs[vc].credits += 1
+        if self._pending_flits:
+            absorbed = 0
+            inputs = self._inputs
+            for port, mailbox in enumerate(self._flit_mailboxes):
+                while mailbox and mailbox[0][0] <= cycle:
+                    _, vc, flit = mailbox.popleft()
+                    absorbed += 1
+                    channel = inputs[port][vc]
+                    flit.arrival_cycle = cycle
+                    buffer = channel.buffer
+                    if len(buffer) >= channel.capacity:  # inlined channel.push
+                        raise OverflowError(
+                            f"input VC ({channel.port},{channel.vc}) overflow: "
+                            "credit protocol violated"
+                        )
+                    buffer.append(flit)
+                    if (
+                        flit.is_head
+                        and channel.state is VCState.IDLE
+                        and len(buffer) == 1
+                    ):
+                        channel.state = VCState.ROUTING
+                        channel.ready_cycle = cycle + self._selection_offset
+                        self._occupied_channels += 1
+                        insort(self._routing_members, port * self._vcs + vc)
+            self._pending_flits -= absorbed
+        if self._pending_credits:
+            absorbed = 0
+            outputs = self._outputs
+            for port, credits in enumerate(self._credit_mailboxes):
+                if not credits:
+                    continue
+                port_vcs = outputs[port].vcs
+                while credits and credits[0][0] <= cycle:
+                    _, vc = credits.popleft()
+                    absorbed += 1
+                    port_vcs[vc].credits += 1
+            self._pending_credits -= absorbed
 
     def evaluate(self, cycle: int) -> None:
         """Run this cycle's virtual-channel allocation and switch allocation."""
         self._released_output_vc = False
-        self._allocate_virtual_channels(cycle)
-        self._allocate_switch(cycle)
+        if self._batched:
+            if self._routing_members:
+                self._allocate_virtual_channels_batched(cycle)
+            if self._active_members:
+                self._allocate_switch_batched(cycle)
+        else:
+            self._allocate_virtual_channels(cycle)
+            self._allocate_switch(cycle)
 
     # -- routing and virtual-channel allocation --------------------------------
 
     def _route_decision(self, flit: Flit) -> RouteDecision:
         """Use the carried look-ahead decision when valid, else do the lookup."""
         if (
-            self._pipeline.lookahead
+            self._lookahead
             and flit.lookahead_node == self._node_id
             and flit.lookahead_decision is not None
         ):
             return flit.lookahead_decision  # type: ignore[return-value]
-        return self._routing.decide(self._node_id, flit.destination)
+        return self._decide(self._node_id, flit.destination)
 
     def _usable_port(self, port: int) -> bool:
         """A port can be used if a link (or the local interface) is attached."""
@@ -247,6 +363,7 @@ class Router:
         )
 
     def _allocate_virtual_channels(self, cycle: int) -> None:
+        """Reference VC-allocation pass: visit every channel of every port."""
         for port in range(self._radix):
             for channel in self._inputs[port]:
                 if channel.state is not VCState.ROUTING:
@@ -259,6 +376,27 @@ class Router:
                         f"non-header flit at the head of a ROUTING channel: {head!r}"
                     )
                 self._try_allocate(channel, head, cycle)
+
+    def _allocate_virtual_channels_batched(self, cycle: int) -> None:
+        """Batched VC-allocation pass: visit only the ROUTING channels.
+
+        The membership array is sorted by flat index, so the traversal
+        order -- and therefore the first-come-first-served claiming of
+        output virtual channels, selector consultations and RNG draws --
+        matches the reference pass exactly.  A snapshot is taken because a
+        successful allocation moves the channel to the ACTIVE array.
+        """
+        channels = self._channels_flat
+        for flat in tuple(self._routing_members):
+            channel = channels[flat]
+            if channel.ready_cycle > cycle or not channel.buffer:
+                continue
+            head = channel.buffer[0]
+            if not head.is_head:
+                raise AssertionError(
+                    f"non-header flit at the head of a ROUTING channel: {head!r}"
+                )
+            self._try_allocate(channel, head, cycle)
 
     def _try_allocate(
         self, channel: InputVirtualChannel, head: Flit, cycle: int
@@ -304,16 +442,23 @@ class Router:
         if selected_port is None or selected_vc is None:
             return False
 
-        self._outputs[selected_port].vcs[selected_vc].allocate(channel.port, channel.vc)
+        out_channel = self._outputs[selected_port].vcs[selected_vc]
+        out_channel.allocate(channel.port, channel.vc)
         channel.out_port = selected_port
         channel.out_vc = selected_vc
+        channel.out_channel = out_channel
         channel.state = VCState.ACTIVE
+        flat = channel.port * self._vcs + channel.vc
+        _membership_remove(self._routing_members, flat)
+        insort(self._active_members, flat)
         self.headers_routed += 1
         return True
 
     # -- switch (crossbar) allocation -------------------------------------------
 
     def _allocate_switch(self, cycle: int) -> None:
+        """Reference switch-allocation pass: visit every channel, arbitrate
+        through the general round-robin entry point."""
         # Stage 1: each input port nominates one of its sendable VCs.
         nominations: Dict[int, InputVirtualChannel] = {}
         for port in range(self._radix):
@@ -343,38 +488,130 @@ class Router:
             if winner is None:
                 continue
             self._forward(nominations[winner], cycle)
+            self.flits_forwarded += 1
+
+    def _allocate_switch_batched(self, cycle: int) -> None:
+        """Batched switch-allocation pass: one flat walk of the ACTIVE array.
+
+        The array is sorted by flat ``port * vcs + vc`` index, so channels
+        of one input port are contiguous and in ascending VC order -- the
+        exact request order the reference pass hands its arbiters.  For a
+        sorted request list the rotating-priority grant reduces to "first
+        requester at or after the pointer, else the lowest requester"
+        (:meth:`RoundRobinArbiter.grant_sorted`); both stages inline that
+        reduction against the router's flat priority arrays, and grants
+        forward in first-nomination order of the output ports, exactly as
+        the reference's insertion-ordered dictionary does.
+        """
+        active = self._active_members
+        channels = self._channels_flat
+        vcs = self._vcs
+        input_priorities = self._input_priorities
+        out_requests = self._out_requests
+        touched = self._touched_outputs
+
+        # Stage 1: nominate one sendable VC per input port.  Channels of
+        # one port are contiguous in the sorted array, so a single walk
+        # tracks the round-robin winner of the current group and flushes
+        # the nomination when the group (or the array) ends.
+        group_base = -1          # flat index of the current port's VC 0
+        priority = 0             # that port's round-robin pointer
+        first_flat = -1          # lowest sendable flat of the group
+        first_at_or_after = -1   # lowest sendable flat at/after the pointer
+        for flat in active:
+            base = flat - flat % vcs
+            if base != group_base:
+                if first_flat >= 0:
+                    winner = (
+                        first_at_or_after if first_at_or_after >= 0 else first_flat
+                    )
+                    vc = winner - group_base
+                    input_priorities[group_base // vcs] = (vc + 1) % vcs
+                    nominated = channels[winner]
+                    per_output = out_requests[nominated.out_port]
+                    if not per_output:
+                        touched.append(nominated.out_port)
+                    per_output.append(nominated)
+                    first_flat = -1
+                    first_at_or_after = -1
+                group_base = base
+                priority = base + input_priorities[base // vcs]
+            channel = channels[flat]
+            if channel.buffer and channel.out_channel.credits > 0:
+                if first_flat < 0:
+                    first_flat = flat
+                    if flat >= priority:
+                        first_at_or_after = flat
+                elif first_at_or_after < 0 and flat >= priority:
+                    first_at_or_after = flat
+        if first_flat >= 0:
+            winner = first_at_or_after if first_at_or_after >= 0 else first_flat
+            vc = winner - group_base
+            input_priorities[group_base // vcs] = (vc + 1) % vcs
+            nominated = channels[winner]
+            per_output = out_requests[nominated.out_port]
+            if not per_output:
+                touched.append(nominated.out_port)
+            per_output.append(nominated)
+
+        if not touched:
+            return
+
+        # Stage 2: grant one nominating input port per requested output.
+        output_priorities = self._output_priorities
+        radix = self._radix
+        forwarded = 0
+        for out_port in touched:
+            per_output = out_requests[out_port]
+            priority = output_priorities[out_port]
+            winner_channel = None
+            for nominated in per_output:
+                if nominated.port >= priority:
+                    winner_channel = nominated
+                    break
+            if winner_channel is None:
+                winner_channel = per_output[0]
+            output_priorities[out_port] = (winner_channel.port + 1) % radix
+            del per_output[:]
+            self._forward(winner_channel, cycle)
+            forwarded += 1
+        del touched[:]
+        self.flits_forwarded += forwarded
 
     def _forward(self, channel: InputVirtualChannel, cycle: int) -> None:
-        """Move the head flit of ``channel`` through the crossbar."""
+        """Move the head flit of ``channel`` through the crossbar.
+
+        The caller accounts the flit in ``flits_forwarded`` (per grant in
+        the reference pass, per batch in the batched pass).
+        """
         flit = channel.pop()
         out_port = channel.out_port
-        out_vc = channel.out_vc
+        out_channel = channel.out_channel
         output = self._outputs[out_port]
-        output.vcs[out_vc].credits -= 1
-        output.record_use(cycle)
-        self._selector.record_use(out_port, cycle)
-        self.flits_forwarded += 1
+        out_channel.credits -= 1
+        output.usage_count += 1
+        output.last_used_cycle = cycle
+        if self._selector_records:
+            self._selector.record_use(out_port, cycle)
 
         # Return a credit for the input buffer slot just freed.
         upstream = self._upstream[channel.port]
         if upstream is not None:
             target, target_port = upstream
             target.receive_credit(
-                target_port, channel.vc, cycle + self._config.credit_delay
+                target_port, channel.vc, cycle + self._credit_delay
             )
 
         if flit.is_head:
             flit.hops += 1
             flit.message.hops = flit.hops
-            if self._pipeline.lookahead and out_port != LOCAL_PORT:
+            if self._lookahead and out_port != LOCAL_PORT:
                 # Look-ahead routing: compute the decision for the next
                 # router now, concurrently with the crossbar traversal, and
                 # carry it in the (partially rewritten) header flit.
                 next_node = self._topology.neighbor(self._node_id, out_port)
                 flit.lookahead_node = next_node
-                flit.lookahead_decision = self._routing.decide(
-                    next_node, flit.destination
-                )
+                flit.lookahead_decision = self._decide(next_node, flit.destination)
 
         downstream = self._downstream[out_port]
         if downstream is None:
@@ -382,16 +619,17 @@ class Router:
                 f"router {self._node_id} forwarded a flit to unconnected port {out_port}"
             )
         target, target_port = downstream
-        delay = self._pipeline.switch_delay
-        if out_port != LOCAL_PORT:
-            delay += self._config.link_delay
-        target.receive_flit(target_port, out_vc, flit, cycle + delay)
+        delay = self._local_delay if out_port == LOCAL_PORT else self._link_hop_delay
+        target.receive_flit(target_port, channel.out_vc, flit, cycle + delay)
 
         if flit.is_tail:
-            output.vcs[out_vc].release()
+            out_channel.release()
             self._released_output_vc = True
             channel.release()
             self._occupied_channels -= 1
+            _membership_remove(
+                self._active_members, channel.port * self._vcs + channel.vc
+            )
             self._start_next_message(channel, cycle)
 
     def _start_next_message(self, channel: InputVirtualChannel, cycle: int) -> None:
@@ -406,9 +644,10 @@ class Router:
             )
         channel.state = VCState.ROUTING
         channel.ready_cycle = max(
-            head.arrival_cycle + self._pipeline.selection_offset, cycle + 1
+            head.arrival_cycle + self._selection_offset, cycle + 1
         )
         self._occupied_channels += 1
+        insort(self._routing_members, channel.port * self._vcs + channel.vc)
 
     # -- quiescence (activity-aware kernel) ---------------------------------------
 
@@ -444,7 +683,12 @@ class Router:
 
         Mailbox arrivals bound the sleep; ``None`` means fully idle until
         ``receive_flit``/``receive_credit`` wakes the router.
+
+        The batched schedule computes the same value from the membership
+        arrays instead of scanning every channel.
         """
+        if self._batched:
+            return self._next_event_cycle_batched(cycle)
         upcoming: Optional[int] = None
         if self._occupied_channels:
             idle, routing, active = VCState.IDLE, VCState.ROUTING, VCState.ACTIVE
@@ -486,6 +730,42 @@ class Router:
                         upcoming = arrival
         return upcoming
 
+    def _next_event_cycle_batched(self, cycle: int) -> Optional[int]:
+        """Membership-array version of :meth:`next_event_cycle`.
+
+        Returns the identical value: ``cycle`` as soon as any ACTIVE
+        channel is sendable (or a past-ready ROUTING channel can retry a
+        released output VC), else the minimum of the future ROUTING ready
+        cycles and the earliest mailbox arrivals.
+        """
+        channels = self._channels_flat
+        for flat in self._active_members:
+            channel = channels[flat]
+            if channel.buffer and channel.out_channel.credits > 0:
+                return cycle
+        upcoming: Optional[int] = None
+        released = self._released_output_vc
+        for flat in self._routing_members:
+            ready = channels[flat].ready_cycle
+            if ready >= cycle:
+                if upcoming is None or ready < upcoming:
+                    upcoming = ready
+            elif released:
+                return cycle
+        if self._pending_flits:
+            for mailbox in self._flit_mailboxes:
+                if mailbox:
+                    arrival = mailbox[0][0]
+                    if upcoming is None or arrival < upcoming:
+                        upcoming = arrival
+        if self._pending_credits:
+            for mailbox in self._credit_mailboxes:
+                if mailbox:
+                    arrival = mailbox[0][0]
+                    if upcoming is None or arrival < upcoming:
+                        upcoming = arrival
+        return upcoming
+
     # -- introspection -----------------------------------------------------------
 
     def is_idle(self) -> bool:
@@ -501,5 +781,5 @@ class Router:
     def __repr__(self) -> str:
         return (
             f"Router(node={self._node_id}, pipeline={self._pipeline.name}, "
-            f"vcs={self._config.vcs_per_port})"
+            f"vcs={self._config.vcs_per_port}, switch={self._config.switch_mode})"
         )

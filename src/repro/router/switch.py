@@ -1,0 +1,83 @@
+"""Switch-allocation schedules of the router busy path.
+
+The router supports two implementations of its per-cycle busy path
+(virtual-channel allocation plus two-stage switch allocation) over one
+semantics, mirroring the exhaustive/activity split of the simulation
+kernel:
+
+``"reference"``
+    The original per-channel object traversal: every input virtual
+    channel of every port is visited every cycle and the round-robin
+    arbiters are consulted through their general ``grant`` entry point.
+    Simple, obviously correct, and kept as the executable specification.
+
+``"batched"``
+    The default.  Per-cycle work touches only a maintained set of
+    *active* input virtual channels (membership is updated incrementally
+    on flit arrival, allocation and tail departure -- the same
+    state-transition sites the kernel's quiescence hooks observe),
+    nominations and round-robin grants are computed in one flat pass over
+    the sorted membership arrays, and per-flit statistics churn is
+    accumulated per pass instead of per flit.
+
+Both schedules must produce bit-identical :class:`~repro.core.results.
+SimulationResult`\\ s; ``tests/test_router_equivalence.py`` enforces this
+across a topology x routing x VC x load grid and
+``tests/test_router_properties.py`` checks the router invariants (flit
+conservation, credit conservation, arbiter fairness, in-order delivery)
+under both.
+
+The schedules are registered under the ``"switch"`` registry kind so
+:class:`~repro.core.config.SimulationConfig.switch_mode` is validated
+eagerly and the schedule's provenance is folded into result-cache keys
+like every other pluggable component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.registry import SWITCH_MODES, register
+
+__all__ = ["BATCHED", "REFERENCE", "SWITCH_MODE_NAMES", "SwitchSchedule", "switch_schedule_by_name"]
+
+
+@dataclass(frozen=True)
+class SwitchSchedule:
+    """One named implementation of the router busy path.
+
+    Parameters
+    ----------
+    name:
+        Report name ("reference" or "batched").
+    batched:
+        Whether the router should run the flat batched allocation pass
+        instead of the per-channel reference traversal.
+    """
+
+    name: str
+    batched: bool
+
+
+#: The per-channel object-traversal reference implementation.
+REFERENCE = SwitchSchedule(name="reference", batched=False)
+
+#: The flat active-set allocation pass (default).
+BATCHED = SwitchSchedule(name="batched", batched=True)
+
+register("switch", REFERENCE.name, obj=REFERENCE, provenance=f"{__name__}:REFERENCE")
+register("switch", BATCHED.name, obj=BATCHED, provenance=f"{__name__}:BATCHED")
+
+#: Built-in schedule names.
+SWITCH_MODE_NAMES = (BATCHED.name, REFERENCE.name)
+
+
+def switch_schedule_by_name(name: str) -> SwitchSchedule:
+    """Look up a registered switch schedule by its report name."""
+    schedule = SWITCH_MODES.get(name)
+    if not isinstance(schedule, SwitchSchedule):
+        raise ValueError(
+            f"switch mode {name!r} is registered but is not a SwitchSchedule: "
+            f"{schedule!r}"
+        )
+    return schedule

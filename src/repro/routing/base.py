@@ -83,6 +83,54 @@ class RoutingAlgorithm(ABC):
         """Output-port choices for a header at ``current`` heading to
         ``destination``."""
 
+    def decision_cache(self) -> dict:
+        """A ``(current, destination) -> RouteDecision`` memo shared by
+        every router of the network.
+
+        :meth:`decide` is a pure function of the topology and the
+        currently programmed table, and :class:`RouteDecision` is frozen,
+        so the routers and network interfaces consult this cache on their
+        hot paths instead of re-deriving the same decision per header per
+        retry.  The dict lives on the algorithm instance -- one network
+        shares one instance -- and is bounded by the number of (node,
+        destination) pairs.
+
+        Tables are software programmable: when the algorithm reads a
+        :class:`~repro.tables.base.RoutingTable`, the memo registers for
+        its reprogramming notifications and is cleared in place (every
+        holder shares the same dict object) the moment an entry is
+        overwritten, so post-construction ``reprogram`` calls are never
+        served stale decisions.
+        """
+        cache = getattr(self, "_decision_memo", None)
+        if cache is None:
+            cache = {}
+            self._decision_memo = cache
+            # Hook the table's reprogramming notifications.  Try the
+            # public ``table`` attribute/property first so plugin
+            # algorithms that expose their table conventionally are
+            # covered too, then the built-ins' private ``_table``.
+            table = getattr(self, "table", None)
+            if table is None:
+                table = getattr(self, "_table", None)
+            on_reprogram = getattr(table, "on_reprogram", None)
+            if callable(on_reprogram):
+                on_reprogram(cache.clear)
+        return cache
+
+    def decide_cached(self, current: int, destination: int) -> RouteDecision:
+        """Memoized :meth:`decide` -- the single lookup the routers and
+        network interfaces share on their hot paths (see
+        :meth:`decision_cache` for the purity and invalidation contract).
+        """
+        cache = self.decision_cache()
+        key = (current, destination)
+        decision = cache.get(key)
+        if decision is None:
+            decision = self.decide(current, destination)
+            cache[key] = decision
+        return decision
+
     def validate(self, vcs_per_port: int) -> None:
         """Raise ``ValueError`` if the router configuration cannot support
         this algorithm."""

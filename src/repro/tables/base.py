@@ -50,6 +50,29 @@ class RoutingTable(ABC):
     def num_routers(self) -> int:
         """Number of routers this table instance covers."""
 
+    # -- reprogramming notifications ------------------------------------------
+
+    def on_reprogram(self, callback) -> None:
+        """Register ``callback()`` to run whenever this table is reprogrammed.
+
+        The routing algorithms memoize their ``decide`` results
+        (:meth:`repro.routing.base.RoutingAlgorithm.decision_cache`); the
+        software-programmable organisations call
+        :meth:`_notify_reprogrammed` from their ``reprogram`` methods so
+        those memos are dropped instead of silently serving stale routes.
+        """
+        listeners = getattr(self, "_reprogram_listeners", None)
+        if listeners is None:
+            listeners = []
+            self._reprogram_listeners = listeners
+        if callback not in listeners:
+            listeners.append(callback)
+
+    def _notify_reprogrammed(self) -> None:
+        """Invoke every registered reprogramming listener."""
+        for callback in getattr(self, "_reprogram_listeners", ()):
+            callback()
+
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(entries_per_router={self.entries_per_router()})"

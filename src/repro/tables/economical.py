@@ -141,6 +141,7 @@ class EconomicalStorageTable(RoutingTable):
                     f"port {port} does not exist on a radix-{self._topology.radix} router"
                 )
         self._tables[node][signs] = tuple(ports)
+        self._notify_reprogrammed()
 
     def entries_per_router(self) -> int:
         return 3 ** self._topology.n_dims

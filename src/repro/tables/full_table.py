@@ -82,3 +82,4 @@ class FullRoutingTable(RoutingTable):
                 "the entry for the local node must name the local port only"
             )
         self._entries[current][destination] = tuple(ports)
+        self._notify_reprogrammed()

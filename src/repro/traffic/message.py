@@ -149,6 +149,16 @@ class Flit:
     #: Cycle this flit was written into the current router's input buffer.
     arrival_cycle: int = 0
 
+    #: Role flags, precomputed from ``flit_type``: the router's busy path
+    #: reads them once per flit per hop, where a property chained through
+    #: the :class:`FlitType` enum is measurable overhead.
+    is_head: bool = field(init=False, repr=False, compare=False)
+    is_tail: bool = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.is_head = self.flit_type.is_head
+        self.is_tail = self.flit_type.is_tail
+
     @property
     def destination(self) -> int:
         """Destination node of the owning message."""
@@ -158,14 +168,6 @@ class Flit:
     def source(self) -> int:
         """Source node of the owning message."""
         return self.message.source
-
-    @property
-    def is_head(self) -> bool:
-        return self.flit_type.is_head
-
-    @property
-    def is_tail(self) -> bool:
-        return self.flit_type.is_tail
 
     def __repr__(self) -> str:
         return (

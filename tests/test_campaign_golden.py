@@ -15,6 +15,11 @@ module-scoped reports.
 import pytest
 
 from repro.core.campaign import run_campaign
+
+#: The three module-scoped campaign runs dominate the suite's wall clock,
+#: so the whole module lives behind the ``slow`` marker (the full-matrix
+#: CI job runs it; tier-1 does not).
+pytestmark = pytest.mark.slow
 from repro.core.config import SimulationConfig
 from repro.exec.backend import ProcessPoolBackend, SerialBackend
 from repro.exec.cache import ResultCache

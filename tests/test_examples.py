@@ -47,6 +47,7 @@ def test_every_example_compiles(path):
     py_compile.compile(str(path), doraise=True)
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("name", QUICK_EXAMPLES)
 def test_study_examples_run_in_quick_mode(name):
     completed = run_example(name, "--quick")
@@ -54,6 +55,7 @@ def test_study_examples_run_in_quick_mode(name):
     assert completed.stdout.strip(), "example produced no output"
 
 
+@pytest.mark.slow
 def test_lookahead_study_output_mentions_the_router_variants():
     completed = run_example("lookahead_study.py", "--quick")
     assert completed.returncode == 0, completed.stderr
@@ -61,6 +63,7 @@ def test_lookahead_study_output_mentions_the_router_variants():
     assert "pct_improvement" in completed.stdout
 
 
+@pytest.mark.slow
 def test_table_storage_study_prints_cost_and_programming_tables():
     completed = run_example("table_storage_study.py", "--quick")
     assert completed.returncode == 0, completed.stderr

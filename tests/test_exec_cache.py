@@ -150,13 +150,24 @@ def test_cache_key_is_stable_across_processes():
         assert output == local_key
 
 
-# -- format v3: component provenance in the key --------------------------------------
+# -- format v3+: component provenance in the key -------------------------------------
 
 
-def test_cache_format_is_v3():
+def test_cache_format_is_v4():
+    # v3 added component provenance; v4 added the switch_mode config
+    # field and its schedule provenance (see CACHE_FORMAT_VERSION docs).
     from repro.exec.cache import CACHE_FORMAT_VERSION
 
-    assert CACHE_FORMAT_VERSION == 3
+    assert CACHE_FORMAT_VERSION == 4
+
+
+def test_switch_mode_feeds_the_key():
+    # The two switch schedules are bit-identical, but their results must
+    # still live in distinct cache slots so pinned-mode studies never
+    # serve each other's entries.
+    batched = SimulationConfig.tiny()
+    reference = batched.variant(switch_mode="reference")
+    assert config_cache_key(batched) != config_cache_key(reference)
 
 
 def _v2_style_key(config):

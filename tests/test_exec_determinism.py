@@ -55,6 +55,7 @@ def test_load_sweep_is_identical_through_both_backends(tiny_config):
         assert serial_point.result == parallel_point.result
 
 
+@pytest.mark.slow
 def test_campaign_is_identical_through_both_backends(tiny_config):
     serial_report = run_campaign(
         tiny_config, loads_low_high=(0.2,), traffic_patterns=("uniform",)

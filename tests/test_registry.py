@@ -120,8 +120,9 @@ def test_component_provenance_is_stable_and_complete():
     provenance = registry.config_component_provenance(config)
     assert set(provenance) == {
         "traffic", "routing", "table", "selector", "pipeline", "injection",
-        "topology",
+        "switch_mode", "topology",
     }
+    assert provenance["switch_mode"] == "repro.router.switch:BATCHED"
     assert provenance["traffic"] == "repro.traffic.patterns:UniformPattern"
     assert provenance == registry.config_component_provenance(config)
 

@@ -1,0 +1,227 @@
+"""Direct regression coverage for the PR 2 bugfix paths.
+
+PR 2 fixed three silent-failure modes -- mesh tornado wrap-around,
+pattern crashes on 1-node topologies, and silent Bernoulli rate clamping
+-- and PR 4 is rewriting the router hot path underneath them, so each fix
+gets pinned here at both the unit level and end to end:
+
+* tornado on a mesh clamps at the edge (never wraps into a short
+  backward trip), including on rectangular, odd-extent and extent-1
+  dimensions, and a tornado simulation drains completely;
+* uniform and hotspot report fixed points (``None``) on a 1-node
+  topology instead of crashing, including when the lone node *is* the
+  hotspot, and a traffic source built over them never emits a message;
+* the Bernoulli clamp warns exactly when the requested rate exceeds one
+  message/cycle, and the recorded ``effective_message_rate`` survives
+  every serialization boundary (JSON round-trip and the result cache).
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.core.simulator import NetworkSimulator
+from repro.network.topology import MeshTopology
+from repro.traffic.patterns import HotspotPattern, TornadoPattern, UniformPattern
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(7)
+
+
+# -- tornado wrap-around clamping on meshes ------------------------------------------
+
+
+@pytest.mark.parametrize("dims", [(4, 4), (5, 3), (8, 2), (6,)])
+def test_mesh_tornado_never_moves_backwards(dims, rng):
+    """On any mesh shape the clamped offset must keep every hop
+    non-negative in every dimension -- the PR 2 bug turned high-edge
+    sources into short *backward* (wrapped) trips."""
+    mesh = MeshTopology(dims)
+    pattern = TornadoPattern(mesh)
+    for source in range(mesh.num_nodes):
+        destination = pattern.destination(source, rng)
+        if destination is None:
+            continue
+        for src, dst, extent in zip(
+            mesh.coordinates(source), mesh.coordinates(destination), dims
+        ):
+            assert src <= dst <= extent - 1, (
+                f"tornado on mesh {dims} moved {source}->{destination} "
+                "backwards or out of range"
+            )
+
+
+def test_mesh_tornado_clamp_values_on_a_rectangle(rng):
+    """Spot-check the clamped arithmetic on a non-square mesh: offset is
+    ``extent // 2 - 1`` per dimension, clamped at the boundary."""
+    mesh = MeshTopology((5, 3))
+    pattern = TornadoPattern(mesh)
+    # Offsets are (5//2 - 1, 3//2 - 1) = (1, 0): only X moves here.
+    assert pattern.destination(mesh.node_id((1, 1)), rng) == mesh.node_id((2, 1))
+    assert pattern.destination(mesh.node_id((3, 2)), rng) == mesh.node_id((4, 2))
+    # High-edge X sources clamp onto themselves -> fixed points, not
+    # wrapped short backward trips as before the fix.
+    assert pattern.destination(mesh.node_id((4, 0)), rng) is None
+    assert pattern.destination(mesh.node_id((4, 2)), rng) is None
+
+
+class _Line:
+    """A 4x1 mesh-like stub: the built-in topologies reject extent-1
+    dimensions, but the pattern guard (``extent > 1``) must still hold
+    for plugin topologies that allow them."""
+
+    dims = (4, 1)
+    num_nodes = 4
+    wraps = False
+
+    def coordinates(self, node):
+        return (node, 0)
+
+    def node_id(self, coords):
+        return coords[0]
+
+
+def test_mesh_tornado_extent_one_dimension_is_left_alone(rng):
+    """An extent-1 dimension has nowhere to go: the clamp must leave the
+    coordinate untouched instead of underflowing ``extent // 2 - 1``
+    into a negative offset."""
+    pattern = TornadoPattern(_Line())
+    # X offset is 4//2 - 1 = 1, Y (extent 1) stays put.
+    assert pattern.destination(0, rng) == 1
+    assert pattern.destination(2, rng) == 3
+    assert pattern.destination(3, rng) is None  # clamped fixed point
+
+
+def test_tornado_simulation_on_a_mesh_drains_completely():
+    """End to end: a tornado run on a mesh must terminate with every
+    created message delivered (the wrapped destinations of the old
+    arithmetic skewed distances and could starve edge flows)."""
+    config = SimulationConfig.tiny(
+        traffic="tornado",
+        routing="west-first",
+        normalized_load=0.2,
+        seed=3,
+    )
+    simulator = NetworkSimulator(config)
+    result = simulator.run()
+    assert result.summary.completion_ratio == 1.0
+    assert simulator.stats.delivered == simulator.stats.created
+
+
+# -- uniform / hotspot on 1-node topologies ------------------------------------------
+
+
+class _OneNode:
+    """Minimal 1-node topology stand-in (built-ins require >= 2/dim)."""
+
+    num_nodes = 1
+    dims = (1,)
+
+    def node_id(self, coords):
+        return 0
+
+
+def test_uniform_on_one_node_is_a_fixed_point(rng):
+    assert UniformPattern(_OneNode()).destination(0, rng) is None
+
+
+def test_hotspot_on_one_node_is_a_fixed_point_even_as_the_hotspot(rng):
+    # The lone node is necessarily the hotspot: the "send to hotspot"
+    # branch must not fire for the hotspot itself, and the uniform
+    # fallback must report the fixed point instead of crashing.
+    pattern = HotspotPattern(_OneNode(), hotspot=0, fraction=1.0)
+    for _ in range(50):
+        assert pattern.destination(0, rng) is None
+
+
+def test_one_node_source_never_emits_messages(rng):
+    """A traffic source whose pattern only produces fixed points must
+    stay silent forever rather than looping or crashing."""
+    from repro.engine.rng import SimulationRNG
+    from repro.traffic.generator import TrafficGenerator
+    from repro.traffic.injection import BernoulliInjection
+
+    generator = TrafficGenerator(
+        topology=_OneNode(),
+        pattern=UniformPattern(_OneNode()),
+        process=BernoulliInjection(0.5),
+        message_length=4,
+        rng=SimulationRNG(seed=5),
+        max_messages=10,
+    )
+    (source,) = generator.sources()
+    for cycle in range(50):
+        assert source.messages_due(cycle) == []
+    assert generator.generated == 0
+
+
+# -- Bernoulli rate clamp and effective_message_rate ---------------------------------
+
+
+def _clamping_config(**overrides) -> SimulationConfig:
+    return SimulationConfig.tiny(
+        normalized_load=8.0,
+        injection="bernoulli",
+        message_length=1,
+        measure_messages=60,
+        warmup_messages=10,
+        max_cycles=200,
+        seed=31,
+    ).variant(**overrides)
+
+
+def test_bernoulli_clamp_warns_and_names_the_rates():
+    with pytest.warns(RuntimeWarning, match="Bernoulli limit") as captured:
+        simulator = NetworkSimulator(_clamping_config())
+    message = str(captured[0].message)
+    assert "8.0" in message  # the offending normalized load is named
+    assert simulator.effective_message_rate == 1.0
+
+
+def test_bernoulli_at_exactly_rate_one_does_not_warn():
+    """The clamp warning must fire only *beyond* the limit; a request of
+    exactly one message per cycle is representable and silent."""
+    from repro.traffic.injection import message_rate_for_load
+
+    config = SimulationConfig.tiny(injection="bernoulli", message_length=1, seed=2)
+    topology = NetworkSimulator(config).topology
+    # Solve for the normalized load that lands exactly on rate 1.0.
+    unit_rate_load = 1.0 / message_rate_for_load(topology, 1, 1.0)
+    exact = config.variant(
+        normalized_load=unit_rate_load, measure_messages=50, warmup_messages=5,
+        max_cycles=150,
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        simulator = NetworkSimulator(exact)
+    assert simulator.effective_message_rate == pytest.approx(1.0)
+
+
+def test_effective_rate_survives_json_round_trip():
+    with pytest.warns(RuntimeWarning, match="Bernoulli limit"):
+        result = NetworkSimulator(_clamping_config()).run()
+    assert result.effective_message_rate == 1.0
+    loaded = SimulationResult.from_json(result.to_json())
+    assert loaded.effective_message_rate == 1.0
+    assert loaded == result
+
+
+def test_effective_rate_survives_the_result_cache(tmp_path):
+    from repro.exec.cache import ResultCache
+
+    with pytest.warns(RuntimeWarning, match="Bernoulli limit"):
+        config = _clamping_config()
+        result = NetworkSimulator(config).run()
+    cache = ResultCache(tmp_path)
+    cache.put(config, result)
+    cached = cache.get(config)
+    assert cached is not None
+    assert cached.effective_message_rate == result.effective_message_rate
+    assert cached.to_json() == result.to_json()

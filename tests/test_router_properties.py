@@ -1,0 +1,298 @@
+"""Seeded randomized property tests for router invariants.
+
+Rather than asserting exact numbers, these tests check the *laws* the
+router must obey under any traffic -- and check them against both switch
+schedules, so the batched busy path cannot satisfy them by construction
+quirks the reference would not share:
+
+* **flit conservation** -- every injected message is delivered exactly
+  once (no loss, no duplication), and a drained network holds no flits;
+* **credit conservation** -- after draining, every output virtual
+  channel's credit count returns to the full buffer depth and no
+  channel is left allocated;
+* **forwarding accounting** -- the routers' crossbar counters equal the
+  flit-hops actually traversed by the delivered messages;
+* **arbiter fairness** -- a round-robin arbiter never starves a
+  continuously requesting slot, and the sorted-request fast path used by
+  the batched pass is decision-for-decision equal to the general grant;
+* **in-order delivery** -- with deterministic routing and a single
+  virtual channel per port there is one FIFO path per (source,
+  destination, VC), so messages of a pair must eject in creation order.
+
+Everything is driven by seeded ``random.Random`` instances, so failures
+reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import NetworkSimulator
+from repro.router.arbiter import RoundRobinArbiter
+
+SWITCH_MODES = ("batched", "reference")
+
+
+# -- randomized end-to-end runs ------------------------------------------------------
+
+
+def _random_config(seed: int) -> SimulationConfig:
+    """A small, drainable configuration drawn from a seeded RNG."""
+    rng = random.Random(seed)
+    mesh_dims = rng.choice([(3, 3), (4, 4), (2, 5), (4, 2)])
+    vcs = rng.choice([2, 3, 4])
+    routing = rng.choice(["duato", "dimension-order", "west-first"])
+    square = mesh_dims[0] == mesh_dims[1]
+    traffic = rng.choice(
+        ["uniform", "transpose", "tornado"] if square else ["uniform", "tornado"]
+    )
+    return SimulationConfig(
+        mesh_dims=mesh_dims,
+        vcs_per_port=vcs,
+        buffer_depth=rng.choice([2, 3, 5]),
+        routing=routing,
+        traffic=traffic,
+        message_length=rng.choice([1, 4, 8]),
+        normalized_load=rng.choice([0.1, 0.25, 0.4]),
+        injection=rng.choice(["exponential", "bernoulli"]),
+        pipeline=rng.choice(["proud", "la-proud"]),
+        warmup_messages=20,
+        measure_messages=120,
+        seed=seed,
+    )
+
+
+def _run_with_delivery_log(config: SimulationConfig):
+    """Run a simulation recording every delivered message object."""
+    simulator = NetworkSimulator(config)
+    delivered = []
+    original = simulator.stats.record_delivered
+
+    def spy(message, cycle):
+        delivered.append(message)
+        original(message, cycle)
+
+    simulator.stats.record_delivered = spy
+    result = simulator.run()
+    return simulator, result, delivered
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+@pytest.mark.parametrize("switch_mode", SWITCH_MODES)
+def test_flit_and_credit_conservation(seed, switch_mode):
+    config = _random_config(seed).variant(switch_mode=switch_mode)
+    simulator, result, delivered = _run_with_delivery_log(config)
+
+    # Every created message was delivered exactly once (loads are modest
+    # and the cycle budget generous, so the run fully drains).
+    stats = simulator.stats
+    assert stats.delivered == stats.created, (
+        f"flit loss: created {stats.created}, delivered {stats.delivered} "
+        f"(seed {seed}, {switch_mode})"
+    )
+    seen_ids = [message.message_id for message in delivered]
+    assert len(seen_ids) == len(set(seen_ids)), "duplicated delivery"
+    assert result.summary.completion_ratio == 1.0
+
+    # The drained network holds nothing: no buffered flits, no in-flight
+    # mailbox entries, every input channel back to IDLE.
+    network = simulator.network
+    assert network.is_idle()
+
+    # Credit conservation: every output VC of every router is free again,
+    # and its credit count plus the credits still in flight toward it
+    # (the kernel stops the instant the last message is delivered, which
+    # can strand the final credit returns in a mailbox) equals the full
+    # buffer depth -- credits are never created or destroyed.
+    depth = config.buffer_depth
+    for router in network.routers:
+        in_flight = defaultdict(int)
+        for port, mailbox in enumerate(router._credit_mailboxes):
+            for _, vc in mailbox:
+                in_flight[(port, vc)] += 1
+        for port in range(simulator.topology.radix):
+            output = router.output_port(port)
+            if not output.connected:
+                continue
+            for vc in output.vcs:
+                assert vc.owner is None, (
+                    f"router {router.node_id} port {port} VC {vc.vc} still "
+                    f"allocated after drain (seed {seed}, {switch_mode})"
+                )
+                total = vc.credits + in_flight[(port, vc.vc)]
+                assert total == depth, (
+                    f"router {router.node_id} port {port} VC {vc.vc} credits "
+                    f"{vc.credits} + in-flight {in_flight[(port, vc.vc)]} != "
+                    f"{depth} after drain (seed {seed}, {switch_mode})"
+                )
+
+    # Forwarding accounting: each flit of a message crosses the crossbar
+    # of every router on its path (ejection included), so the summed
+    # router counters equal the summed flit-hops of the delivered set.
+    flit_hops = sum(message.length * message.hops for message in delivered)
+    forwarded = sum(router.flits_forwarded for router in network.routers)
+    assert forwarded == flit_hops
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_both_modes_agree_on_microarchitectural_totals(seed):
+    """Beyond the result summary, the per-router crossbar counters of the
+    two schedules must match router for router."""
+    config = _random_config(seed)
+    reference = NetworkSimulator(config.variant(switch_mode="reference"))
+    batched = NetworkSimulator(config.variant(switch_mode="batched"))
+    reference.run()
+    batched.run()
+    for ref_router, bat_router in zip(reference.network.routers, batched.network.routers):
+        assert ref_router.flits_forwarded == bat_router.flits_forwarded
+        assert ref_router.headers_routed == bat_router.headers_routed
+
+
+@pytest.mark.parametrize("switch_mode", SWITCH_MODES)
+def test_in_order_delivery_per_source_destination_vc(switch_mode):
+    """Deterministic routing + one VC per port = one FIFO lane per
+    (source, destination, VC) triple: ejection order must equal creation
+    order within every pair."""
+    config = SimulationConfig(
+        mesh_dims=(4, 4),
+        vcs_per_port=1,
+        routing="dimension-order",
+        traffic="uniform",
+        normalized_load=0.3,
+        message_length=4,
+        warmup_messages=30,
+        measure_messages=250,
+        seed=23,
+        switch_mode=switch_mode,
+    )
+    simulator, result, delivered = _run_with_delivery_log(config)
+    assert simulator.stats.delivered == simulator.stats.created
+
+    last_seen = {}
+    for message in delivered:
+        pair = (message.source, message.destination)
+        previous = last_seen.get(pair)
+        if previous is not None:
+            assert previous.creation_cycle <= message.creation_cycle
+            assert previous.message_id < message.message_id, (
+                f"pair {pair} delivered message {message.message_id} after "
+                f"{previous.message_id} despite earlier creation ({switch_mode})"
+            )
+        last_seen[pair] = message
+
+
+# -- arbiter properties --------------------------------------------------------------
+
+
+def test_round_robin_never_starves_a_persistent_requester():
+    """A slot that requests in every arbitration round is granted at
+    least once every ``num_requesters`` grants, whatever the competing
+    request pattern does."""
+    rng = random.Random(99)
+    num = 5
+    arbiter = RoundRobinArbiter(num)
+    persistent = 2
+    grants_since_persistent = 0
+    for _ in range(500):
+        others = [slot for slot in range(num) if slot != persistent and rng.random() < 0.8]
+        requests = sorted(others + [persistent])
+        winner = arbiter.grant(requests)
+        assert winner in requests
+        if winner == persistent:
+            grants_since_persistent = 0
+        else:
+            grants_since_persistent += 1
+            assert grants_since_persistent < num, (
+                "round-robin starved a continuously requesting slot"
+            )
+
+
+@pytest.mark.parametrize("seed", [5, 6, 7, 8])
+def test_grant_sorted_equals_grant(seed):
+    """The sorted-request fast path used by the batched switch pass must
+    make the identical decision -- and leave the identical priority
+    pointer -- as the general grant, over long random request sequences."""
+    rng = random.Random(seed)
+    num = rng.choice([2, 4, 5, 8])
+    general = RoundRobinArbiter(num)
+    fast = RoundRobinArbiter(num)
+    for _ in range(400):
+        requests = sorted(
+            slot for slot in range(num) if rng.random() < rng.choice([0.2, 0.5, 0.9])
+        )
+        assert general.grant(requests) == fast.grant_sorted(requests)
+        assert repr(general) == repr(fast)  # pointer state stays in lockstep
+
+
+def test_grant_sorted_empty_request_list():
+    arbiter = RoundRobinArbiter(4)
+    assert arbiter.grant_sorted([]) is None
+
+
+def test_batched_priority_pointers_match_reference_arbiters():
+    """After identical runs, the batched routers' flat priority arrays
+    must equal the pointer positions of the reference routers' arbiter
+    objects -- the two bookkeeping forms of one rotating priority."""
+    config = _random_config(31)
+    reference = NetworkSimulator(config.variant(switch_mode="reference"))
+    batched = NetworkSimulator(config.variant(switch_mode="batched"))
+    reference.run()
+    batched.run()
+    for ref_router, bat_router in zip(reference.network.routers, batched.network.routers):
+        ref_inputs = [arb._next_priority for arb in ref_router._input_arbiters]
+        ref_outputs = [arb._next_priority for arb in ref_router._output_arbiters]
+        assert bat_router._input_priorities == ref_inputs
+        assert bat_router._output_priorities == ref_outputs
+
+
+# -- decision-memo invalidation ------------------------------------------------------
+
+
+def test_reprogramming_a_table_drops_memoized_decisions():
+    """The busy path memoizes routing decisions; tables are software
+    programmable, so a post-construction ``reprogram`` must clear the
+    shared memo in place (routers hold references to the same dict)."""
+    from repro.network.topology import MeshTopology, port_for
+    from repro.routing.duato import DuatoFullyAdaptiveRouting
+    from repro.tables.economical import EconomicalStorageTable
+
+    topology = MeshTopology((3, 3))
+    table = EconomicalStorageTable(topology)
+    routing = DuatoFullyAdaptiveRouting(topology, table)
+    cache = routing.decision_cache()
+    assert cache is routing.decision_cache()  # one shared dict
+
+    node = topology.node_id((1, 1))
+    destination = topology.node_id((2, 2))
+    before = routing.decide(node, destination)
+    cache[(node, destination)] = before
+    east, north = port_for(0, True), port_for(1, True)
+    assert set(before.adaptive_ports) == {east, north}
+
+    # Deny the +X port for (+, +) at the center node, as a North-Last
+    # style programming would.
+    table.reprogram(node, (1, 1), (north,))
+    assert cache == {}, "reprogramming must clear the decision memo"
+    after = routing.decide(node, destination)
+    assert set(after.adaptive_ports) == {north}
+
+
+# -- membership-array integrity ------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [41, 42])
+def test_membership_arrays_empty_after_drain(seed):
+    """The incremental ROUTING/ACTIVE membership arrays must be exact:
+    after a drained run they are empty, matching the all-IDLE channels."""
+    config = _random_config(seed)
+    simulator = NetworkSimulator(config)
+    simulator.run()
+    assert simulator.network.is_idle()
+    for router in simulator.network.routers:
+        assert router._routing_members == []
+        assert router._active_members == []
+        assert router._occupied_channels == 0

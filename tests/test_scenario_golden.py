@@ -134,6 +134,7 @@ def test_figure7_study_matches_legacy_rows():
     assert outcome.rows == legacy_rows
 
 
+@pytest.mark.slow
 def test_campaign_suite_markdown_matches_legacy_report(cache_dir):
     report = legacy(
         run_campaign,
