@@ -135,6 +135,10 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         default="batched", dest="switch_mode",
                         help="router busy-path schedule: flat batched pass "
                              "(default) or the per-channel reference")
+    parser.add_argument("--link-mode", choices=("batched", "reference"),
+                        default="batched", dest="link_mode",
+                        help="link-transport schedule: per-link arrival lanes "
+                             "(default) or the per-flit mailbox reference")
     parser.add_argument("--messages", type=int, default=1200,
                         help="measured messages per data point")
     parser.add_argument("--warmup", type=int, default=150,
@@ -154,6 +158,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         selector=args.selector,
         vcs_per_port=args.vcs,
         switch_mode=args.switch_mode,
+        link_mode=args.link_mode,
         measure_messages=args.messages,
         warmup_messages=args.warmup,
         seed=args.seed,

@@ -71,6 +71,12 @@ class SimulationConfig:
     #: traversal kept as the executable specification).  Both schedules
     #: are bit-identical; see :mod:`repro.router.switch`.
     switch_mode: str = "batched"
+    #: Link-transport schedule: ``"batched"`` (per-link arrival lanes
+    #: drained by due-span slices, the default) or ``"reference"``
+    #: (per-flit mailbox tuple deques kept as the executable
+    #: specification).  Both schedules are bit-identical; see
+    #: :mod:`repro.network.link`.
+    link_mode: str = "batched"
 
     # -- routing -----------------------------------------------------------------------
     #: ``"duato"``, ``"dimension-order"``, ``"north-last"``, ``"west-first"`` or

@@ -81,7 +81,11 @@ class NetworkSimulator:
     The router busy path has the same two-implementations-one-semantics
     split, selected by ``config.switch_mode`` (``"batched"`` default,
     ``"reference"`` specification; enforced bit-identical by
-    ``tests/test_router_equivalence.py``).  The two axes compose freely.
+    ``tests/test_router_equivalence.py``), and so does link-level flit
+    transport, selected by ``config.link_mode`` (``"batched"`` arrival
+    lanes default, ``"reference"`` mailbox-tuple specification; enforced
+    by ``tests/test_link_equivalence.py``).  All three axes compose
+    freely.
     """
 
     def __init__(self, config: SimulationConfig, kernel_mode: str = "activity") -> None:
@@ -101,6 +105,7 @@ class NetworkSimulator:
             link_delay=config.link_delay,
             credit_delay=config.credit_delay,
             switch_mode=config.switch_mode,
+            link_mode=config.link_mode,
         )
         message_rate = message_rate_for_load(
             self._topology, config.message_length, config.normalized_load

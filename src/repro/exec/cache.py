@@ -37,7 +37,11 @@ __all__ = ["CACHE_FORMAT_VERSION", "ResultCache", "config_cache_key"]
 #: busy-path schedule) and its schedule provenance joins the component
 #: map, so entries computed before the batched allocator existed are
 #: never served as current.
-CACHE_FORMAT_VERSION = 4
+#: Version 5: configurations grew the ``link_mode`` field (link-transport
+#: schedule) and its schedule provenance joins the component map, so the
+#: two transport schedules occupy distinct slots and entries written
+#: before batched link transport existed are never served as current.
+CACHE_FORMAT_VERSION = 5
 
 
 def config_cache_key(config: "SimulationConfig") -> str:

@@ -1,9 +1,10 @@
 """Named, introspectable plugin registries for every pluggable component.
 
-The simulator is assembled from eight kinds of interchangeable parts --
+The simulator is assembled from nine kinds of interchangeable parts --
 topologies, routing algorithms, routing-table organisations,
 path-selection heuristics, traffic patterns, injection processes, router
-pipelines and switch-allocation schedules -- plus the scenario layer's
+pipelines, switch-allocation schedules and link-transport schedules --
+plus the scenario layer's
 reporters, analytic experiments and built-in studies.  Each kind has a :class:`Registry`
 mapping report names (the strings stored in
 :class:`~repro.core.config.SimulationConfig`) to factories, so user code
@@ -30,6 +31,7 @@ Factory signatures by kind (what the simulator calls for each entry):
 ``injection``  ``factory(config, rate) -> InjectionProcess``
 ``pipeline``   a :class:`~repro.router.pipeline.PipelineTiming` instance
 ``switch``     a :class:`~repro.router.switch.SwitchSchedule` instance
+``link``       a :class:`~repro.network.link.LinkSchedule` instance
 ``reporter``   ``reporter(study, points, results, **options) -> rows``
 ``analytic``   ``analytic(**options) -> rows``
 ``study``      ``builder() -> Study`` (default-parameter built-in study)
@@ -54,6 +56,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 __all__ = [
     "ANALYTICS",
     "INJECTIONS",
+    "LINK_MODES",
     "PIPELINES",
     "REGISTRIES",
     "REPORTERS",
@@ -256,6 +259,7 @@ TRAFFIC_PATTERNS = Registry("traffic pattern", ["repro.traffic.patterns"])
 INJECTIONS = Registry("injection process", ["repro.traffic.injection"])
 PIPELINES = Registry("router pipeline", ["repro.router.pipeline"])
 SWITCH_MODES = Registry("switch-allocation schedule", ["repro.router.switch"])
+LINK_MODES = Registry("link-transport schedule", ["repro.network.link"])
 REPORTERS = Registry("study reporter", ["repro.scenario.reporters"])
 ANALYTICS = Registry(
     "analytic experiment",
@@ -273,6 +277,7 @@ REGISTRIES: Dict[str, Registry] = {
     "injection": INJECTIONS,
     "pipeline": PIPELINES,
     "switch": SWITCH_MODES,
+    "link": LINK_MODES,
     "reporter": REPORTERS,
     "analytic": ANALYTICS,
     "study": STUDIES,
@@ -312,6 +317,7 @@ CONFIG_FIELD_KINDS: Dict[str, str] = {
     "selector": "selector",
     "pipeline": "pipeline",
     "switch_mode": "switch",
+    "link_mode": "link",
     "injection": "injection",
 }
 

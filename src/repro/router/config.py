@@ -39,6 +39,13 @@ class RouterConfig:
         set; ``"reference"`` keeps the per-channel traversal as the
         executable specification.  Both are bit-identical; see
         :mod:`repro.router.switch`.
+    link_mode:
+        Link-transport schedule: ``"batched"`` (default) stores in-flight
+        flits/credits in per-link arrival lanes drained by due-span
+        slices, with sends flushed once per evaluation pass;
+        ``"reference"`` keeps the per-flit mailbox tuple deques as the
+        executable specification.  Both are bit-identical; see
+        :mod:`repro.network.link`.
     """
 
     vcs_per_port: int = 4
@@ -47,6 +54,7 @@ class RouterConfig:
     link_delay: int = 1
     credit_delay: int = 1
     switch_mode: str = "batched"
+    link_mode: str = "batched"
 
     def __post_init__(self) -> None:
         if self.vcs_per_port < 1:
@@ -60,12 +68,19 @@ class RouterConfig:
         # Resolve eagerly so a typo fails at configuration time, with the
         # registry's standard unknown-name message.
         self.switch_schedule()
+        self.link_schedule()
 
     def switch_schedule(self):
         """The registered :class:`~repro.router.switch.SwitchSchedule`."""
         from repro.router.switch import switch_schedule_by_name
 
         return switch_schedule_by_name(self.switch_mode)
+
+    def link_schedule(self):
+        """The registered :class:`~repro.network.link.LinkSchedule`."""
+        from repro.network.link import link_schedule_by_name
+
+        return link_schedule_by_name(self.link_mode)
 
     def with_pipeline(self, pipeline: PipelineTiming) -> "RouterConfig":
         """A copy of this configuration with a different pipeline."""

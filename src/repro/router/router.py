@@ -48,6 +48,25 @@ by :attr:`RouterConfig.switch_mode` (see :mod:`repro.router.switch`):
     consultations and RNG draws are bit-identical; this is enforced by
     ``tests/test_router_equivalence.py`` and
     ``tests/test_router_properties.py``.
+
+Link-transport schedules
+------------------------
+*How* in-flight flits and credits are carried between neighbours has its
+own two-implementations-one-semantics split, selected by
+:attr:`RouterConfig.link_mode` (see :mod:`repro.network.link`):
+``"reference"`` keeps one deque of ``(cycle, vc, payload)`` tuples per
+input port, drained tuple-at-a-time; ``"batched"`` (the default) stores
+arrivals in cycle-indexed :class:`~repro.network.link.ArrivalWheel`
+lanes.  Senders push through prebound receiver closures built at wiring
+time (``_forward`` issues no per-flit ``receive_flit`` dispatch; flit
+entries are ``(flat_channel, flit)`` pairs, credit entries flat channel
+indices applied via ``_out_vcs_flat``), and the drain consumes the
+current cycle's lane whole -- the wired-window contract makes lane
+membership exact, so no arrival comparisons are needed.  Wakes carry
+identical cycles and external pushes fall back to the wheels' ``far``
+lists, so the two schedules are bit-identical;
+``tests/test_link_equivalence.py`` enforces this across the full kernel
+x switch x link cube.
 """
 
 from __future__ import annotations
@@ -57,6 +76,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.engine.kernel import no_wake
+from repro.network.link import ArrivalWheel
 from repro.network.topology import LOCAL_PORT, Topology, port_direction
 from repro.router.arbiter import RoundRobinArbiter
 from repro.router.channels import (
@@ -78,6 +98,38 @@ def _membership_remove(members: List[int], flat: int) -> None:
     index = bisect_left(members, flat)
     if index < len(members) and members[index] == flat:
         del members[index]
+
+
+def _flit_receiver_for(target: object, target_port: int) -> Callable:
+    """``target``'s prebound flit receiver for ``target_port``.
+
+    Routers and network interfaces build their own lane-push closures
+    (:meth:`Router.make_flit_receiver`); any other target -- test doubles,
+    user components -- is wrapped through its plain ``receive_flit``.
+    """
+    maker = getattr(target, "make_flit_receiver", None)
+    if maker is not None:
+        return maker(target_port)
+    receive = target.receive_flit
+
+    def receiver(vc: int, flit: Flit, arrival_cycle: int) -> None:
+        receive(target_port, vc, flit, arrival_cycle)
+
+    return receiver
+
+
+def _credit_receiver_for(target: object, target_port: int) -> Callable:
+    """``target``'s prebound credit receiver for ``target_port``
+    (see :func:`_flit_receiver_for`)."""
+    maker = getattr(target, "make_credit_receiver", None)
+    if maker is not None:
+        return maker(target_port)
+    receive = target.receive_credit
+
+    def receiver(vc: int, arrival_cycle: int) -> None:
+        receive(target_port, vc, arrival_cycle)
+
+    return receiver
 
 
 class Router:
@@ -141,13 +193,50 @@ class Router:
         # Downstream / upstream wiring filled in by the network assembly.
         self._downstream: List[Optional[Tuple[object, int]]] = [None] * radix
         self._upstream: List[Optional[Tuple[object, int]]] = [None] * radix
-        # Mailboxes carrying in-flight flits and credits (per port).
-        self._flit_mailboxes: List[Deque[Tuple[int, int, Flit]]] = [
-            deque() for _ in range(radix)
-        ]
-        self._credit_mailboxes: List[Deque[Tuple[int, int]]] = [
-            deque() for _ in range(radix)
-        ]
+        #: Which link-transport schedule carries in-flight flits/credits
+        #: (see the module docstring and :mod:`repro.network.link`).
+        self._batched_links = config.link_schedule().batched
+        # Mailboxes carrying in-flight flits and credits: cycle-indexed
+        # arrival wheels under the batched link schedule (flit entries
+        # are ``(flat_channel, flit)`` pairs, credit entries flat
+        # ``port * vcs + vc`` indices), per-port tuple deques under the
+        # reference one.
+        if self._batched_links:
+            wheel_size = 1 + max(
+                config.link_delay + config.pipeline.switch_delay,
+                config.pipeline.switch_delay,
+                config.link_delay,
+                config.credit_delay,
+            )
+            self._flit_wheel = ArrivalWheel(wheel_size)
+            self._credit_wheel = ArrivalWheel(wheel_size)
+            #: Output virtual channels as one flat array indexed by
+            #: ``port * vcs + vc`` (the credit drain's address space).
+            self._out_vcs_flat: List[OutputVirtualChannel] = [
+                output.vcs[vc]
+                for output in self._outputs
+                for vc in range(config.vcs_per_port)
+            ]
+            # Skip the class-level dispatch: the kernel calls the batched
+            # drain directly.
+            self.deliver = self._deliver_batched_links
+        else:
+            self._flit_mailboxes: List[Deque[Tuple[int, int, Flit]]] = [
+                deque() for _ in range(radix)
+            ]
+            self._credit_mailboxes: List[Deque[Tuple[int, int]]] = [
+                deque() for _ in range(radix)
+            ]
+        #: Per-output-port flit receivers and per-input-port credit
+        #: receivers of the wired neighbours (batched link schedule only;
+        #: filled in by ``connect_output``/``set_upstream``).  These are
+        #: the targets' prebound lane-push closures, so ``_forward``
+        #: appends straight into the outgoing link's lane -- the lane is
+        #: the send buffer, consumed in one pass by the downstream drain
+        #: -- instead of dispatching ``receive_flit``/``receive_credit``
+        #: per flit.
+        self._flit_senders: List[Optional[Callable]] = [None] * radix
+        self._credit_senders: List[Optional[Callable]] = [None] * radix
         #: Entries currently enqueued across all mailboxes of each kind;
         #: lets ``deliver`` and ``next_event_cycle`` skip the per-port
         #: scans entirely when nothing is in flight.
@@ -242,11 +331,66 @@ class Router:
         ``port``.  ``target`` must expose ``receive_flit(port, vc, flit, cycle)``."""
         self._downstream[port] = (target, target_port)
         self._outputs[port].connected = True
+        if self._batched_links:
+            self._flit_senders[port] = _flit_receiver_for(target, target_port)
 
     def set_upstream(self, port: int, target: object, target_port: int) -> None:
         """Record who feeds input ``port`` so credits can be returned to it.
         ``target`` must expose ``receive_credit(port, vc, cycle)``."""
         self._upstream[port] = (target, target_port)
+        if self._batched_links:
+            self._credit_senders[port] = _credit_receiver_for(target, target_port)
+
+    # -- prebound lane receivers (batched link schedule) -----------------------
+
+    def make_flit_receiver(self, port: int) -> Callable[[int, Flit, int], None]:
+        """A prebound fast path of :meth:`receive_flit` for one input port.
+
+        Upstream flushes call the returned ``receiver(vc, flit, arrival)``
+        instead of dispatching ``receive_flit`` per flit; it performs the
+        identical side effects (lane push and wake).  Falls
+        back to wrapping :meth:`receive_flit` under the reference link
+        schedule, so mixed-schedule wiring stays correct.
+        """
+        if not self._batched_links:
+            receive = self.receive_flit
+
+            def receiver(vc: int, flit: Flit, arrival_cycle: int) -> None:
+                receive(port, vc, flit, arrival_cycle)
+
+            return receiver
+        wheel = self._flit_wheel
+        slots = wheel.slots
+        size = wheel.size
+        base = port * self._vcs
+
+        def receiver(vc: int, flit: Flit, arrival_cycle: int) -> None:
+            slots[arrival_cycle % size].append((base + vc, flit))
+            self._wake(arrival_cycle)
+
+        return receiver
+
+    def make_credit_receiver(self, port: int) -> Callable[[int, int], None]:
+        """A prebound fast path of :meth:`receive_credit` for one output
+        port's upstream direction; same contract as
+        :meth:`make_flit_receiver`."""
+        if not self._batched_links:
+            receive = self.receive_credit
+
+            def receiver(vc: int, arrival_cycle: int) -> None:
+                receive(port, vc, arrival_cycle)
+
+            return receiver
+        wheel = self._credit_wheel
+        slots = wheel.slots
+        size = wheel.size
+        base = port * self._vcs
+
+        def receiver(vc: int, arrival_cycle: int) -> None:
+            slots[arrival_cycle % size].append(base + vc)
+            self._wake(arrival_cycle)
+
+        return receiver
 
     def input_channel(self, port: int, vc: int) -> InputVirtualChannel:
         """Direct access to an input virtual channel (tests, introspection)."""
@@ -259,15 +403,31 @@ class Router:
     # -- mailbox interface (called by neighbours and the network interface) ---
 
     def receive_flit(self, port: int, vc: int, flit: Flit, arrival_cycle: int) -> None:
-        """Schedule a flit to appear in input ``(port, vc)`` at ``arrival_cycle``."""
-        self._flit_mailboxes[port].append((arrival_cycle, vc, flit))
-        self._pending_flits += 1
+        """Schedule a flit to appear in input ``(port, vc)`` at ``arrival_cycle``.
+
+        Under the batched link schedule this public method makes no
+        assumption about ``arrival_cycle`` and therefore routes through
+        the wheel's ``far`` overflow list; the wired simulation path uses
+        the prebound window receivers (:meth:`make_flit_receiver`)
+        instead.
+        """
+        if self._batched_links:
+            self._flit_wheel.far.append(
+                (arrival_cycle, port * self._vcs + vc, flit)
+            )
+        else:
+            self._flit_mailboxes[port].append((arrival_cycle, vc, flit))
+            self._pending_flits += 1
         self._wake(arrival_cycle)
 
     def receive_credit(self, port: int, vc: int, arrival_cycle: int) -> None:
-        """Schedule a credit return for output ``(port, vc)`` at ``arrival_cycle``."""
-        self._credit_mailboxes[port].append((arrival_cycle, vc))
-        self._pending_credits += 1
+        """Schedule a credit return for output ``(port, vc)`` at ``arrival_cycle``
+        (same ``far`` routing as :meth:`receive_flit` when batched)."""
+        if self._batched_links:
+            self._credit_wheel.far.append((arrival_cycle, port * self._vcs + vc))
+        else:
+            self._credit_mailboxes[port].append((arrival_cycle, vc))
+            self._pending_credits += 1
         self._wake(arrival_cycle)
 
     def free_input_vcs(self, port: int) -> List[int]:
@@ -282,6 +442,14 @@ class Router:
 
     def deliver(self, cycle: int) -> None:
         """Absorb flits and credits whose link traversal completes this cycle."""
+        # Batched instances bind ``self.deliver`` to the wheel drain at
+        # construction, so the kernel never reaches this guard; it keeps
+        # explicit class-level calls (``Router.deliver(r, c)``) correct.
+        # To instrument the batched drain, patch the class *before*
+        # constructing the simulator (see test_router_properties).
+        if self._batched_links:
+            self._deliver_batched_links(cycle)
+            return
         if self._pending_flits:
             absorbed = 0
             inputs = self._inputs
@@ -320,6 +488,98 @@ class Router:
                     absorbed += 1
                     port_vcs[vc].credits += 1
             self._pending_credits -= absorbed
+
+    def _deliver_batched_links(self, cycle: int) -> None:
+        """Wheel version of :meth:`deliver`: consume this cycle's lanes whole.
+
+        The wired-window contract (see :mod:`repro.network.link`)
+        guarantees the lane at ``cycle % size`` holds exactly the
+        arrivals due this cycle, so the drain is one slice per wheel --
+        no arrival-cycle comparisons, no per-port scans, no tuple
+        popleft loop.  The per-flit state transitions are identical to
+        the reference drain; absorption order across ports within one
+        cycle is immaterial (distinct lanes feed distinct input channels
+        and every per-flit effect is commutative across channels).  The
+        ``far`` overflow (external pushes with arbitrary arrivals) is
+        checked with one boolean and drained by explicit comparison.
+        """
+        wheel = self._flit_wheel
+        lane = wheel.slots[cycle % wheel.size]
+        if lane:
+            channels = self._channels_flat
+            selection_offset = self._selection_offset
+            routing_members = self._routing_members
+            idle = VCState.IDLE
+            for flat, flit in lane:
+                channel = channels[flat]
+                flit.arrival_cycle = cycle
+                buffer = channel.buffer
+                if len(buffer) >= channel.capacity:  # inlined channel.push
+                    raise OverflowError(
+                        f"input VC ({channel.port},{channel.vc}) overflow: "
+                        "credit protocol violated"
+                    )
+                buffer.append(flit)
+                if (
+                    flit.is_head
+                    and channel.state is idle
+                    and len(buffer) == 1
+                ):
+                    channel.state = VCState.ROUTING
+                    channel.ready_cycle = cycle + selection_offset
+                    self._occupied_channels += 1
+                    insort(routing_members, flat)
+            del lane[:]
+        if wheel.far:
+            self._drain_far_flits(cycle)
+        wheel = self._credit_wheel
+        lane = wheel.slots[cycle % wheel.size]
+        if lane:
+            out_vcs = self._out_vcs_flat
+            for flat in lane:
+                out_vcs[flat].credits += 1
+            del lane[:]
+        if wheel.far:
+            self._drain_far_credits(cycle)
+
+    def _absorb_flit(self, flat: int, flit: Flit, cycle: int) -> None:
+        """Move one arrived flit into its input channel (cold far path;
+        the wheel drain inlines this body)."""
+        channel = self._channels_flat[flat]
+        flit.arrival_cycle = cycle
+        buffer = channel.buffer
+        if len(buffer) >= channel.capacity:
+            raise OverflowError(
+                f"input VC ({channel.port},{channel.vc}) overflow: "
+                "credit protocol violated"
+            )
+        buffer.append(flit)
+        if flit.is_head and channel.state is VCState.IDLE and len(buffer) == 1:
+            channel.state = VCState.ROUTING
+            channel.ready_cycle = cycle + self._selection_offset
+            self._occupied_channels += 1
+            insort(self._routing_members, flat)
+
+    def _drain_far_flits(self, cycle: int) -> None:
+        """Absorb due ``far`` flit arrivals (external pushes), FIFO order.
+
+        The lane key groups entries by input port, matching the
+        reference's one-deque-per-port head-blocking.
+        """
+        vcs = self._vcs
+        for _, flat, flit in self._flit_wheel.drain_far_due(
+            cycle, lane_key=lambda entry: entry[1] // vcs
+        ):
+            self._absorb_flit(flat, flit, cycle)
+
+    def _drain_far_credits(self, cycle: int) -> None:
+        """Apply due ``far`` credit returns (external pushes)."""
+        vcs = self._vcs
+        out_vcs = self._out_vcs_flat
+        for _, flat in self._credit_wheel.drain_far_due(
+            cycle, lane_key=lambda entry: entry[1] // vcs
+        ):
+            out_vcs[flat].credits += 1
 
     def evaluate(self, cycle: int) -> None:
         """Run this cycle's virtual-channel allocation and switch allocation."""
@@ -595,12 +855,17 @@ class Router:
             self._selector.record_use(out_port, cycle)
 
         # Return a credit for the input buffer slot just freed.
-        upstream = self._upstream[channel.port]
-        if upstream is not None:
-            target, target_port = upstream
-            target.receive_credit(
-                target_port, channel.vc, cycle + self._credit_delay
-            )
+        if self._batched_links:
+            sender = self._credit_senders[channel.port]
+            if sender is not None:
+                sender(channel.vc, cycle + self._credit_delay)
+        else:
+            upstream = self._upstream[channel.port]
+            if upstream is not None:
+                target, target_port = upstream
+                target.receive_credit(
+                    target_port, channel.vc, cycle + self._credit_delay
+                )
 
         if flit.is_head:
             flit.hops += 1
@@ -618,9 +883,12 @@ class Router:
             raise AssertionError(
                 f"router {self._node_id} forwarded a flit to unconnected port {out_port}"
             )
-        target, target_port = downstream
         delay = self._local_delay if out_port == LOCAL_PORT else self._link_hop_delay
-        target.receive_flit(target_port, channel.out_vc, flit, cycle + delay)
+        if self._batched_links:
+            self._flit_senders[out_port](channel.out_vc, flit, cycle + delay)
+        else:
+            target, target_port = downstream
+            target.receive_flit(target_port, channel.out_vc, flit, cycle + delay)
 
         if flit.is_tail:
             out_channel.release()
@@ -722,13 +990,7 @@ class Router:
                         # unblocking credit/flit arrival wakes the router.
                     else:  # pragma: no cover - WAITING is unused, be safe
                         return cycle
-        for mailboxes in (self._flit_mailboxes, self._credit_mailboxes):
-            for mailbox in mailboxes:
-                if mailbox:
-                    arrival = mailbox[0][0]
-                    if upcoming is None or arrival < upcoming:
-                        upcoming = arrival
-        return upcoming
+        return self._earliest_mailbox_arrival(cycle, upcoming)
 
     def _next_event_cycle_batched(self, cycle: int) -> Optional[int]:
         """Membership-array version of :meth:`next_event_cycle`.
@@ -752,6 +1014,25 @@ class Router:
                     upcoming = ready
             elif released:
                 return cycle
+        return self._earliest_mailbox_arrival(cycle, upcoming)
+
+    def _earliest_mailbox_arrival(
+        self, cycle: int, upcoming: Optional[int]
+    ) -> Optional[int]:
+        """Fold the earliest pending flit/credit arrival into ``upcoming``.
+
+        ``cycle`` anchors the wheels' lane-offset scan; the value equals
+        the reference deques' minimum head, so both link schedules report
+        identical cycles to the kernel's quiescence pass.
+        """
+        if self._batched_links:
+            arrival = self._flit_wheel.earliest_pending(cycle)
+            if arrival is not None and (upcoming is None or arrival < upcoming):
+                upcoming = arrival
+            arrival = self._credit_wheel.earliest_pending(cycle)
+            if arrival is not None and (upcoming is None or arrival < upcoming):
+                upcoming = arrival
+            return upcoming
         if self._pending_flits:
             for mailbox in self._flit_mailboxes:
                 if mailbox:
@@ -770,7 +1051,10 @@ class Router:
 
     def is_idle(self) -> bool:
         """True when no flit is buffered or in flight toward this router."""
-        if any(self._flit_mailboxes[port] for port in range(self._radix)):
+        if self._batched_links:
+            if self._flit_wheel:
+                return False
+        elif any(self._flit_mailboxes[port] for port in range(self._radix)):
             return False
         for port in range(self._radix):
             for channel in self._inputs[port]:
@@ -778,8 +1062,30 @@ class Router:
                     return False
         return True
 
+    def in_flight_credits(self) -> List[Tuple[int, int]]:
+        """``(port, vc)`` of every credit currently in flight toward this
+        router, whichever link schedule is active (introspection for the
+        conservation tests and debugging)."""
+        if self._batched_links:
+            vcs = self._vcs
+            pairs = [
+                (flat // vcs, flat % vcs)
+                for lane in self._credit_wheel.slots
+                for flat in lane
+            ]
+            pairs.extend(
+                (entry[1] // vcs, entry[1] % vcs) for entry in self._credit_wheel.far
+            )
+            return pairs
+        return [
+            (port, vc)
+            for port, mailbox in enumerate(self._credit_mailboxes)
+            for _, vc in mailbox
+        ]
+
     def __repr__(self) -> str:
         return (
             f"Router(node={self._node_id}, pipeline={self._pipeline.name}, "
-            f"vcs={self._config.vcs_per_port}, switch={self._config.switch_mode})"
+            f"vcs={self._config.vcs_per_port}, switch={self._config.switch_mode}, "
+            f"link={self._config.link_mode})"
         )

@@ -47,6 +47,24 @@ def test_run_command_honours_configuration_flags(capsys):
     assert "proud" in output
 
 
+def test_run_command_accepts_schedule_mode_flags(capsys):
+    # Pinning both busy-path schedule axes must not change the numbers
+    # relative to the defaults (both axes are bit-identical pairs).
+    exit_code = main(["run", *TINY_ARGS, "--switch-mode", "reference",
+                      "--link-mode", "reference"])
+    assert exit_code == 0
+    pinned = capsys.readouterr().out
+    assert main(["run", *TINY_ARGS]) == 0
+    assert capsys.readouterr().out == pinned
+
+
+def test_parser_rejects_unknown_link_mode():
+    from repro.cli import build_parser
+
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--link-mode", "telepathy"])
+
+
 def test_sweep_command_prints_one_row_per_load(capsys):
     exit_code = main(["sweep", *TINY_ARGS, "--loads", "0.1,0.3"])
     assert exit_code == 0

@@ -153,12 +153,13 @@ def test_cache_key_is_stable_across_processes():
 # -- format v3+: component provenance in the key -------------------------------------
 
 
-def test_cache_format_is_v4():
+def test_cache_format_is_v5():
     # v3 added component provenance; v4 added the switch_mode config
-    # field and its schedule provenance (see CACHE_FORMAT_VERSION docs).
+    # field and its schedule provenance; v5 added link_mode and its
+    # schedule provenance (see CACHE_FORMAT_VERSION docs).
     from repro.exec.cache import CACHE_FORMAT_VERSION
 
-    assert CACHE_FORMAT_VERSION == 4
+    assert CACHE_FORMAT_VERSION == 5
 
 
 def test_switch_mode_feeds_the_key():
@@ -168,6 +169,23 @@ def test_switch_mode_feeds_the_key():
     batched = SimulationConfig.tiny()
     reference = batched.variant(switch_mode="reference")
     assert config_cache_key(batched) != config_cache_key(reference)
+
+
+def test_link_mode_feeds_the_key():
+    # Same contract for the link-transport schedules: bit-identical
+    # results, distinct slots -- and the two mode axes never alias each
+    # other (switching one field must not collide with switching the
+    # other).
+    batched = SimulationConfig.tiny()
+    link_reference = batched.variant(link_mode="reference")
+    switch_reference = batched.variant(switch_mode="reference")
+    keys = {
+        config_cache_key(batched),
+        config_cache_key(link_reference),
+        config_cache_key(switch_reference),
+        config_cache_key(batched.variant(switch_mode="reference", link_mode="reference")),
+    }
+    assert len(keys) == 4
 
 
 def _v2_style_key(config):
@@ -198,6 +216,50 @@ def test_old_format_entries_are_ignored_not_misread(cache):
     cache.put(config, fresh)
     assert cache.get(config) == fresh
     assert config_cache_key(config) != _v2_style_key(config)
+
+
+def _v4_style_key(config):
+    """The pre-v5 key derivation: no ``link_mode`` field or provenance."""
+    import hashlib
+
+    from repro.registry import config_component_provenance
+
+    config_dict = {
+        key: value for key, value in config.to_dict().items() if key != "link_mode"
+    }
+    components = {
+        key: value
+        for key, value in config_component_provenance(config).items()
+        if key != "link_mode"
+    }
+    payload = json.dumps(
+        {
+            "format": 4,
+            "version": repro.__version__,
+            "config": config_dict,
+            "components": components,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def test_v4_format_entries_are_ignored_not_misread(cache):
+    # An entry stored under the v4 key derivation (before configurations
+    # had a link_mode) must be invisible to the v5 code: a clean miss,
+    # never a misread -- the point is re-simulated under the v5 key.
+    config = SimulationConfig.tiny()
+    stale = make_result(config, latency=777.0)
+    old_path = cache.cache_dir / f"{_v4_style_key(config)}.json"
+    old_path.write_text(stale.to_json(), encoding="utf-8")
+    assert cache.get(config) is None
+    assert cache.misses == 1
+    assert old_path.exists()  # never looked at, merely orphaned
+    fresh = make_result(config, latency=30.0)
+    cache.put(config, fresh)
+    assert cache.get(config) == fresh
+    assert config_cache_key(config) != _v4_style_key(config)
 
 
 def test_component_provenance_feeds_the_key():

@@ -29,11 +29,16 @@ class RecordingRouter:
         self.credits.append((arrival_cycle, port, vc))
 
 
-def build_interface(pipeline=LA_PROUD, vcs=2, buffer_depth=5):
+def build_interface(pipeline=LA_PROUD, vcs=2, buffer_depth=5, link_mode="batched"):
     topology = MeshTopology((3, 3))
     table = EconomicalStorageTable(topology)
     routing = DuatoFullyAdaptiveRouting(topology, table)
-    config = RouterConfig(vcs_per_port=vcs, buffer_depth=buffer_depth, pipeline=pipeline)
+    config = RouterConfig(
+        vcs_per_port=vcs,
+        buffer_depth=buffer_depth,
+        pipeline=pipeline,
+        link_mode=link_mode,
+    )
     router = RecordingRouter(config)
     stats = StatsCollector()
     interface = NetworkInterface(
@@ -143,3 +148,133 @@ def test_is_idle_accounts_for_queued_work():
     assert interface.is_idle()
     interface.offer(Message(source=4, destination=0, length=1, creation_cycle=0))
     assert not interface.is_idle()
+
+
+# -- mailbox semantics pinned across both link-transport schedules ------------------
+#
+# These tests pin the reference mailbox behaviour the batched arrival
+# lanes must preserve; every one runs under both ``link_mode`` settings
+# so a lane shortcut can never satisfy it by construction.
+
+LINK_MODES = ("reference", "batched")
+
+
+def _single_flit(source, destination):
+    """The one flit (head == tail) of a fresh single-flit message."""
+    message = Message(source=source, destination=destination, length=1, creation_cycle=0)
+    message.injection_cycle = 0
+    return message.make_flits()[0]
+
+
+@pytest.mark.parametrize("link_mode", LINK_MODES)
+def test_fifo_drain_order_when_flits_share_an_arrival_cycle(link_mode):
+    """Several flits due the same cycle drain in arrival (FIFO) order:
+    the credits returned to the router's local port replay the exact
+    receive order, even across interleaved virtual channels."""
+    interface, router, stats, topology = build_interface(link_mode=link_mode)
+    delivered = []
+    original = stats.record_delivered
+    stats.record_delivered = lambda message, cycle: (
+        delivered.append(message), original(message, cycle)
+    )
+    flits = [_single_flit(0, 4), _single_flit(8, 4), _single_flit(2, 4)]
+    for flit, vc in zip(flits, (0, 1, 0)):
+        interface.receive_flit(LOCAL_PORT, vc, flit, 5)
+    interface.deliver(5)
+    assert stats.delivered == 3
+    assert [message.source for message in delivered] == [0, 8, 2]
+    # Credit per consumed flit, in FIFO order, stamped cycle + credit_delay.
+    assert router.credits == [(6, LOCAL_PORT, 0), (6, LOCAL_PORT, 1), (6, LOCAL_PORT, 0)]
+
+
+@pytest.mark.parametrize("link_mode", LINK_MODES)
+def test_same_cycle_credit_unblocks_injection_that_cycle(link_mode):
+    """A credit arriving at cycle c is applied by deliver(c) -- before
+    evaluate(c) -- so a credit-blocked slot injects the same cycle, and
+    an ejected flit consumed at c is recorded at c alongside it."""
+    interface, router, stats, topology = build_interface(
+        vcs=1, buffer_depth=2, link_mode=link_mode
+    )
+    interface.offer(Message(source=4, destination=0, length=3, creation_cycle=0))
+    drive(interface, 3)  # cycles 0-2: two flits exhaust the credits, then block
+    assert len(router.flits) == 2
+    # Both a returning credit and an ejected flit land at cycle 4.
+    interface.receive_credit(LOCAL_PORT, 0, 4)
+    ejected = _single_flit(0, 4)
+    interface.receive_flit(LOCAL_PORT, 0, ejected, 4)
+    drive(interface, 3, start=3)  # cycles 3-5
+    # The blocked third flit went out at cycle 4 (arrival 4 + link_delay).
+    assert len(router.flits) == 3
+    assert router.flits[2][0] == 4 + router.config.link_delay
+    # The ejected message was delivered at cycle 4, credit stamped 4 + 1.
+    assert ejected.message.ejection_cycle == 4
+    assert stats.delivered == 1
+    assert (5, LOCAL_PORT, 0) in router.credits
+
+
+@pytest.mark.parametrize("link_mode", LINK_MODES)
+def test_single_flit_messages_inject_and_eject(link_mode):
+    """length-1 messages (head == tail) free their slot immediately on
+    injection and complete delivery from one mailbox entry."""
+    interface, router, stats, topology = build_interface(vcs=1, link_mode=link_mode)
+    interface.offer(Message(source=4, destination=0, length=1, creation_cycle=0))
+    interface.offer(Message(source=4, destination=8, length=1, creation_cycle=0))
+    drive(interface, 3)
+    # One flit per cycle on the single VC: the slot freed by the first
+    # tail is reused by the second message the following cycle.
+    assert len(router.flits) == 2
+    assert [flit.is_head and flit.is_tail for _, _, _, flit in router.flits] == [True, True]
+    assert router.flits[1][0] == router.flits[0][0] + 1
+    # Ejection side: one entry delivers the whole message.
+    ejected = _single_flit(0, 4)
+    interface.receive_flit(LOCAL_PORT, 0, ejected, 10)
+    interface.deliver(10)
+    assert ejected.message.is_delivered
+    assert ejected.message.ejection_cycle == 10
+    assert len(router.credits) == 1
+
+
+@pytest.mark.parametrize("link_mode", LINK_MODES)
+def test_next_event_cycle_reports_true_earliest_lane_arrival(link_mode):
+    """With no injectable work, next_event_cycle is the earliest pending
+    mailbox arrival across both lanes -- and None when both are empty."""
+    interface, router, stats, topology = build_interface(link_mode=link_mode)
+    assert interface.next_event_cycle(0) is None
+    interface.receive_flit(LOCAL_PORT, 0, _single_flit(0, 4), 9)
+    assert interface.next_event_cycle(5) == 9
+    interface.receive_credit(LOCAL_PORT, 0, 7)
+    assert interface.next_event_cycle(5) == 7
+    interface.deliver(7)  # consumes the credit; the flit is still pending
+    assert interface.next_event_cycle(8) == 9
+    interface.deliver(9)
+    assert interface.next_event_cycle(10) is None
+
+
+@pytest.mark.parametrize("link_mode", LINK_MODES)
+def test_injectable_work_reports_the_current_cycle(link_mode):
+    interface, router, stats, topology = build_interface(link_mode=link_mode)
+    interface.offer(Message(source=4, destination=0, length=2, creation_cycle=0))
+    assert interface.next_event_cycle(3) == 3
+
+
+@pytest.mark.parametrize("link_mode", LINK_MODES)
+def test_out_of_order_external_pushes_are_head_blocked(link_mode):
+    """Both schedules replay the mailbox-deque contract for external
+    pushes with non-monotonic arrival cycles: a flit queued behind a
+    later-due flit waits for it (head blocking), then both drain in FIFO
+    order the cycle the head comes due."""
+    interface, router, stats, topology = build_interface(link_mode=link_mode)
+    late = _single_flit(0, 4)
+    early = _single_flit(8, 4)
+    interface.receive_flit(LOCAL_PORT, 0, late, 9)
+    interface.receive_flit(LOCAL_PORT, 0, early, 7)
+    interface.deliver(7)
+    assert stats.delivered == 0  # blocked behind the cycle-9 head
+    interface.deliver(8)
+    assert stats.delivered == 0
+    interface.deliver(9)
+    assert stats.delivered == 2
+    assert late.message.ejection_cycle == 9
+    assert early.message.ejection_cycle == 9
+    # One credit per consumed flit, both stamped cycle + credit_delay.
+    assert [cycle for cycle, _, _ in router.credits] == [10, 10]

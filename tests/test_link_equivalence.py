@@ -1,0 +1,195 @@
+"""Bit-identical equivalence across the full schedule cube.
+
+The simulator now has three independent two-implementations-one-semantics
+axes: the kernel schedule (``exhaustive``/``activity``), the router
+busy-path schedule (``switch_mode``) and the link-transport schedule
+(``link_mode``).  The PR 4 equivalence tests cross kernel x switch; this
+module extends the pattern to the *full cube* -- every run of a seeded
+randomized configuration must produce a field-for-field identical
+:class:`~repro.core.results.SimulationResult` under all eight
+(kernel, switch, link) combinations, with the
+(exhaustive, reference, reference) corner as the executable
+specification.
+
+The batched link transport may only restructure *how* in-flight flits
+and credits are stored and drained -- per-link arrival lanes consumed as
+due-span slices, sends flushed per evaluation pass -- never *what*
+arrives when: same arrival cycles, same FIFO order within a lane, same
+wake cycles reported to the activity kernel.  Everything is driven by
+seeded ``random.Random`` instances, so failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import NetworkSimulator
+
+KERNEL_MODES = ("exhaustive", "activity")
+SWITCH_MODES = ("reference", "batched")
+LINK_MODES = ("reference", "batched")
+
+#: All eight schedule combinations; the first entry is the specification
+#: corner every other combination is compared against.
+SCHEDULE_CUBE = tuple(itertools.product(KERNEL_MODES, SWITCH_MODES, LINK_MODES))
+assert SCHEDULE_CUBE[0] == ("exhaustive", "reference", "reference")
+
+
+def _random_config(seed: int) -> SimulationConfig:
+    """A small, drainable configuration drawn from a seeded RNG.
+
+    Mirrors the ``test_router_properties`` scaffolding but additionally
+    varies the link-transport-relevant knobs: link and credit delays
+    (lane arrival spacing), message length down to single-flit messages
+    (head == tail) and loads up to contention.
+    """
+    rng = random.Random(seed * 7919)
+    mesh_dims = rng.choice([(3, 3), (4, 4), (2, 5), (4, 2)])
+    square = mesh_dims[0] == mesh_dims[1]
+    traffic = rng.choice(
+        ["uniform", "transpose", "tornado"] if square else ["uniform", "tornado"]
+    )
+    return SimulationConfig(
+        mesh_dims=mesh_dims,
+        vcs_per_port=rng.choice([1, 2, 4]),
+        buffer_depth=rng.choice([2, 3, 5]),
+        routing=rng.choice(["duato", "dimension-order", "west-first"]),
+        traffic=traffic,
+        message_length=rng.choice([1, 4, 8]),
+        normalized_load=rng.choice([0.15, 0.3, 0.6]),
+        injection=rng.choice(["exponential", "bernoulli"]),
+        pipeline=rng.choice(["proud", "la-proud"]),
+        link_delay=rng.choice([1, 2]),
+        credit_delay=rng.choice([1, 2]),
+        warmup_messages=20,
+        measure_messages=120,
+        seed=seed,
+    )
+
+
+def _run(config: SimulationConfig, kernel: str, switch: str, link: str):
+    return NetworkSimulator(
+        config.variant(switch_mode=switch, link_mode=link), kernel_mode=kernel
+    ).run()
+
+
+def _assert_equivalent(actual, reference, combo) -> None:
+    """Field-for-field equality of everything the simulation computed.
+
+    The configs deliberately differ in their mode fields only, so the
+    comparison covers the computed fields plus the mode-normalised
+    config.
+    """
+    expected = reference.summary.as_dict()
+    got = actual.summary.as_dict()
+    assert set(got) == set(expected), combo
+    for field, value in expected.items():
+        assert got[field] == value, (
+            f"LatencySummary.{field} diverged under {combo}: "
+            f"{got[field]!r} != {value!r}"
+        )
+    assert actual.cycles == reference.cycles, combo
+    assert actual.zero_load_latency == reference.zero_load_latency, combo
+    assert actual.effective_message_rate == reference.effective_message_rate, combo
+    assert (
+        actual.config.variant(switch_mode="reference", link_mode="reference")
+        == reference.config.variant(switch_mode="reference", link_mode="reference")
+    ), combo
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_full_schedule_cube_is_bit_identical(seed):
+    """Every (kernel, switch, link) combination reproduces the
+    (exhaustive, reference, reference) specification corner bit for bit
+    on a randomized configuration."""
+    config = _random_config(seed)
+    baseline = _run(config, *SCHEDULE_CUBE[0])
+    for combo in SCHEDULE_CUBE[1:]:
+        _assert_equivalent(_run(config, *combo), baseline, combo)
+
+
+#: Contention-heavy variants: few VCs, shallow buffers and long messages
+#: force credit stalls and busy lanes -- the regime where an ordering bug
+#: in the due-span drain (or a send dropped by the flush) diverges.
+CONTENTION_GRID = [
+    {"vcs_per_port": 2, "buffer_depth": 2, "message_length": 8, "normalized_load": 0.9},
+    {"vcs_per_port": 2, "buffer_depth": 2, "message_length": 8, "normalized_load": 0.6,
+     "traffic": "transpose"},
+    {"vcs_per_port": 2, "buffer_depth": 5, "message_length": 4, "normalized_load": 0.9,
+     "injection": "bernoulli"},
+]
+
+
+@pytest.mark.parametrize("kernel_mode", KERNEL_MODES)
+@pytest.mark.parametrize(
+    "overrides",
+    CONTENTION_GRID,
+    ids=[
+        f"vcs{o['vcs_per_port']}-buf{o['buffer_depth']}-len{o['message_length']}"
+        f"-load{o['normalized_load']}"
+        for o in CONTENTION_GRID
+    ],
+)
+def test_link_axis_under_contention(overrides, kernel_mode):
+    config = SimulationConfig.tiny(seed=1).variant(
+        measure_messages=150, warmup_messages=20, **overrides
+    )
+    reference = _run(config, kernel_mode, "batched", "reference")
+    batched = _run(config, kernel_mode, "batched", "batched")
+    _assert_equivalent(batched, reference, (kernel_mode, "batched", "link-axis"))
+
+
+def test_single_flit_messages_cross_the_cube():
+    """Head==tail flits exercise every transport transition in one entry:
+    the whole cube must agree on a single-flit workload."""
+    config = SimulationConfig.tiny(
+        message_length=1, normalized_load=0.5, seed=11
+    )
+    baseline = _run(config, *SCHEDULE_CUBE[0])
+    for combo in SCHEDULE_CUBE[1:]:
+        _assert_equivalent(_run(config, *combo), baseline, combo)
+
+
+def test_multi_cycle_link_and_credit_delays():
+    """Delays above one cycle stagger lane arrivals across cycles, so
+    due-spans become strict prefixes rather than whole lanes."""
+    config = SimulationConfig.tiny(
+        link_delay=2, credit_delay=3, normalized_load=0.4, seed=13
+    )
+    for kernel in KERNEL_MODES:
+        reference = _run(config, kernel, "batched", "reference")
+        batched = _run(config, kernel, "batched", "batched")
+        _assert_equivalent(batched, reference, (kernel, "delays", "link-axis"))
+
+
+def test_link_axis_identical_json_across_kernels():
+    """For a fixed (switch, link) pair the full result JSON -- config
+    included -- must match across the kernel axis, as in the kernel and
+    router equivalence suites."""
+    config = SimulationConfig.tiny(normalized_load=0.6, seed=17)
+    for link in LINK_MODES:
+        activity = _run(config, "activity", "batched", link)
+        exhaustive = _run(config, "exhaustive", "batched", link)
+        assert activity.to_json() == exhaustive.to_json(), link
+
+
+def test_link_mode_recorded_in_result_config():
+    config = SimulationConfig.tiny(normalized_load=0.1, seed=5)
+    assert _run(config, "activity", "batched", "reference").config.link_mode == "reference"
+    assert _run(config, "activity", "batched", "batched").config.link_mode == "batched"
+
+
+def test_config_rejects_unknown_link_mode():
+    with pytest.raises(ValueError, match="link"):
+        SimulationConfig.tiny(link_mode="quantum-tunnel")
+
+
+def test_router_config_rejects_unknown_link_mode():
+    from repro.router.config import RouterConfig
+
+    with pytest.raises(ValueError, match="link"):
+        RouterConfig(link_mode="quantum-tunnel")

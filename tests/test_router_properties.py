@@ -35,6 +35,7 @@ from repro.core.simulator import NetworkSimulator
 from repro.router.arbiter import RoundRobinArbiter
 
 SWITCH_MODES = ("batched", "reference")
+LINK_MODES = ("batched", "reference")
 
 
 # -- randomized end-to-end runs ------------------------------------------------------
@@ -83,8 +84,9 @@ def _run_with_delivery_log(config: SimulationConfig):
 
 @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
 @pytest.mark.parametrize("switch_mode", SWITCH_MODES)
-def test_flit_and_credit_conservation(seed, switch_mode):
-    config = _random_config(seed).variant(switch_mode=switch_mode)
+@pytest.mark.parametrize("link_mode", LINK_MODES)
+def test_flit_and_credit_conservation(seed, switch_mode, link_mode):
+    config = _random_config(seed).variant(switch_mode=switch_mode, link_mode=link_mode)
     simulator, result, delivered = _run_with_delivery_log(config)
 
     # Every created message was delivered exactly once (loads are modest
@@ -111,9 +113,8 @@ def test_flit_and_credit_conservation(seed, switch_mode):
     depth = config.buffer_depth
     for router in network.routers:
         in_flight = defaultdict(int)
-        for port, mailbox in enumerate(router._credit_mailboxes):
-            for _, vc in mailbox:
-                in_flight[(port, vc)] += 1
+        for port, vc in router.in_flight_credits():
+            in_flight[(port, vc)] += 1
         for port in range(simulator.topology.radix):
             output = router.output_port(port)
             if not output.connected:
@@ -296,3 +297,98 @@ def test_membership_arrays_empty_after_drain(seed):
         assert router._routing_members == []
         assert router._active_members == []
         assert router._occupied_channels == 0
+
+
+# -- link-transport wheel integrity --------------------------------------------------
+
+
+def _assert_wheel_consistent(wheel):
+    """Arrival-wheel integrity: length and truthiness agree with the
+    entries actually stored across lanes and the ``far`` overflow."""
+    stored = sum(len(lane) for lane in wheel.slots) + len(wheel.far)
+    assert len(wheel) == stored
+    assert bool(wheel) == (stored > 0)
+
+
+@pytest.mark.parametrize("seed", [43, 44, 45])
+def test_wheels_drained_and_consistent_after_run(seed):
+    """Under ``link_mode="batched"`` a drained run leaves every flit
+    wheel empty and every wheel's pending counter exact.  (Credit wheels
+    may hold the final in-flight credit returns -- the kernel stops the
+    instant the last message is delivered -- which the counters must
+    cover; ``far`` stays empty because the wired path never uses it.)"""
+    config = _random_config(seed).variant(link_mode="batched")
+    simulator = NetworkSimulator(config)
+    simulator.run()
+    assert simulator.network.is_idle()
+    for router in simulator.network.routers:
+        _assert_wheel_consistent(router._flit_wheel)
+        _assert_wheel_consistent(router._credit_wheel)
+        assert len(router._flit_wheel) == 0
+        assert router._flit_wheel.far == []
+        assert router._credit_wheel.far == []
+        assert len(router.in_flight_credits()) == len(router._credit_wheel)
+    for interface in simulator.network.interfaces:
+        _assert_wheel_consistent(interface._eject_mailbox)
+        _assert_wheel_consistent(interface._credit_mailbox)
+        assert len(interface._eject_mailbox) == 0
+
+
+@pytest.mark.parametrize("seed", [46, 47])
+def test_wheel_lanes_are_slot_exact(seed):
+    """The wheel drain consumes the lane ``cycle % size`` without any
+    arrival comparison, which is only correct if that lane holds exactly
+    the flits due this cycle.  Log every wired flit push (by wrapping the
+    receiver factory before construction -- batched components bind their
+    receivers and drain at init/wiring time) and assert, at the top of
+    every drain, that the lane length matches the logged arrivals for
+    this cycle and that no logged arrival lies in the past."""
+    from collections import defaultdict
+
+    from repro.router.router import Router
+
+    push_log = {}
+    real_make = Router.make_flit_receiver
+    real_drain = Router._deliver_batched_links
+    drains = [0]
+
+    def logging_make(self, port):
+        receiver = real_make(self, port)
+        log = push_log.setdefault(id(self), defaultdict(int))
+
+        def wrapped(vc, flit, arrival_cycle):
+            log[arrival_cycle] += 1
+            receiver(vc, flit, arrival_cycle)
+
+        return wrapped
+
+    def checked_drain(self, cycle):
+        log = push_log.get(id(self))
+        if log is not None:
+            drains[0] += 1
+            wheel = self._flit_wheel
+            lane = wheel.slots[cycle % wheel.size]
+            expected = log.pop(cycle, 0)
+            assert len(lane) == expected, (
+                f"lane for cycle {cycle} holds {len(lane)} flits, "
+                f"{expected} were pushed for it (seed {seed})"
+            )
+            assert all(arrival > cycle for arrival in log), (
+                f"flits pushed for a past cycle were never drained "
+                f"(cycle {cycle}, pending {sorted(log)}, seed {seed})"
+            )
+        return real_drain(self, cycle)
+
+    config = _random_config(seed).variant(
+        link_mode="batched", traffic="uniform", normalized_load=0.6, message_length=8
+    )
+    try:
+        Router.make_flit_receiver = logging_make
+        Router._deliver_batched_links = checked_drain
+        simulator = NetworkSimulator(config)
+        result = simulator.run()
+    finally:
+        Router.make_flit_receiver = real_make
+        Router._deliver_batched_links = real_drain
+    assert result.summary.delivered > 0
+    assert drains[0] > 0
