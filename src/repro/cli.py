@@ -139,6 +139,10 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         default="batched", dest="link_mode",
                         help="link-transport schedule: per-link arrival lanes "
                              "(default) or the per-flit mailbox reference")
+    parser.add_argument("--core-mode", choices=("objects", "flat"),
+                        default="objects", dest="core_mode",
+                        help="core schedule: per-component object network "
+                             "(default) or the flat struct-of-arrays core")
     parser.add_argument("--messages", type=int, default=1200,
                         help="measured messages per data point")
     parser.add_argument("--warmup", type=int, default=150,
@@ -159,6 +163,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         vcs_per_port=args.vcs,
         switch_mode=args.switch_mode,
         link_mode=args.link_mode,
+        core_mode=args.core_mode,
         measure_messages=args.messages,
         warmup_messages=args.warmup,
         seed=args.seed,

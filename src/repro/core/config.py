@@ -77,6 +77,11 @@ class SimulationConfig:
     #: specification).  Both schedules are bit-identical; see
     #: :mod:`repro.network.link`.
     link_mode: str = "batched"
+    #: Core schedule: ``"objects"`` (the per-component router/interface
+    #: network, the default) or ``"flat"`` (the whole network lowered
+    #: into one flat struct-of-arrays kernel component).  Both schedules
+    #: are bit-identical; see :mod:`repro.network.flatcore`.
+    core_mode: str = "objects"
 
     # -- routing -----------------------------------------------------------------------
     #: ``"duato"``, ``"dimension-order"``, ``"north-last"``, ``"west-first"`` or

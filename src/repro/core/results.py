@@ -49,9 +49,12 @@ class SimulationResult:
 
     def latency_label(self, precision: int = 1) -> str:
         """The latency formatted the way the paper's tables print it
-        ("Sat." for saturated points)."""
+        ("Sat." for saturated points, "n/a" when the run measured nothing
+        without being saturated -- an insufficient cycle budget)."""
         if self.saturated:
             return "Sat."
+        if self.summary.measured == 0:
+            return "n/a"
         return f"{self.latency:.{precision}f}"
 
     # -- serialization ------------------------------------------------------------

@@ -17,6 +17,7 @@ from repro.core.config import SimulationConfig
 from repro.core.results import SimulationResult
 from repro.engine.kernel import KERNEL_MODES, SimulationKernel
 from repro.engine.rng import SimulationRNG
+from repro.network.flatcore import FlatNetworkCore, core_schedule_by_name
 from repro.network.network import Network
 from repro.network.topology import Topology
 from repro.router.config import RouterConfig
@@ -84,8 +85,13 @@ class NetworkSimulator:
     ``tests/test_router_equivalence.py``), and so does link-level flit
     transport, selected by ``config.link_mode`` (``"batched"`` arrival
     lanes default, ``"reference"`` mailbox-tuple specification; enforced
-    by ``tests/test_link_equivalence.py``).  All three axes compose
-    freely.
+    by ``tests/test_link_equivalence.py``).  The fourth axis is the core
+    schedule, selected by ``config.core_mode``: ``"objects"`` (default)
+    registers every router and interface with the kernel individually,
+    while ``"flat"`` lowers the whole network into one flat
+    struct-of-arrays component (:mod:`repro.network.flatcore`).  All
+    four axes compose freely and are enforced bit-identical across the
+    full sixteen-combination cube by ``tests/test_link_equivalence.py``.
     """
 
     def __init__(self, config: SimulationConfig, kernel_mode: str = "activity") -> None:
@@ -135,7 +141,13 @@ class NetworkSimulator:
             sources=self._generator.sources(),
         )
         self._kernel = SimulationKernel(mode=kernel_mode)
-        self._kernel.register_all(self._network.components())
+        core_schedule = core_schedule_by_name(config.core_mode)
+        if core_schedule.flat:
+            self._core = FlatNetworkCore(self._network, self._stats)
+            self._kernel.register(self._core)
+        else:
+            self._core = None
+            self._kernel.register_all(self._network.components())
         self._kernel.add_stop_condition(lambda cycle: self._stats.all_measured_delivered())
         # The rate the injection process actually offers (Bernoulli clamps
         # super-unit rates); used for the cycle budget and the result.
@@ -155,6 +167,12 @@ class NetworkSimulator:
     def network(self) -> Network:
         """The assembled network (exposed for tests and introspection)."""
         return self._network
+
+    @property
+    def core(self) -> Optional[FlatNetworkCore]:
+        """The flat core when ``core_mode == "flat"``, else None (the
+        object components are reachable through :attr:`network`)."""
+        return self._core
 
     @property
     def topology(self) -> Topology:

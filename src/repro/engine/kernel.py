@@ -167,6 +167,14 @@ class SimulationKernel:
             set_wake = getattr(component, "set_wake", None)
             if callable(set_wake):
                 set_wake(partial(self._wake, index))
+        # Expose the live active-flag list so the component's send paths
+        # can skip the wake callback with one boolean read when the
+        # receiver is already active -- the common case at saturation.
+        # Installed in *both* modes: the exhaustive schedule keeps every
+        # flag True forever, so senders skip the (no-op) callback too.
+        set_active_hint = getattr(component, "set_active_hint", None)
+        if callable(set_active_hint):
+            set_active_hint(self._active, index)
 
     def register_all(self, components: Iterable[Clocked]) -> None:
         """Add several components, preserving their iteration order."""

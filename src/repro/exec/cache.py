@@ -14,6 +14,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
@@ -21,7 +22,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.config import SimulationConfig
     from repro.core.results import SimulationResult
 
-__all__ = ["CACHE_FORMAT_VERSION", "ResultCache", "config_cache_key"]
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "STALE_TMP_SECONDS",
+    "ResultCache",
+    "config_cache_key",
+]
 
 #: Bumped whenever the stored-JSON schema, the simulator's numeric
 #: behaviour or the key derivation changes within a release; folded into
@@ -41,7 +47,15 @@ __all__ = ["CACHE_FORMAT_VERSION", "ResultCache", "config_cache_key"]
 #: schedule) and its schedule provenance joins the component map, so the
 #: two transport schedules occupy distinct slots and entries written
 #: before batched link transport existed are never served as current.
-CACHE_FORMAT_VERSION = 5
+#: Version 6: configurations grew the ``core_mode`` field (core schedule:
+#: per-component object network vs the flat struct-of-arrays core) and
+#: its schedule provenance joins the component map, so entries written
+#: before the flat core existed are never served as current.
+CACHE_FORMAT_VERSION = 6
+
+#: ``*.tmp`` files younger than this many seconds are presumed to belong
+#: to a live concurrent writer and are left alone by :meth:`ResultCache.clear`.
+STALE_TMP_SECONDS = 3600.0
 
 
 def config_cache_key(config: "SimulationConfig") -> str:
@@ -123,33 +137,55 @@ class ResultCache:
 
         The temp file gets a unique name so concurrent runs sharing one
         cache directory never clobber each other's half-written entries.
+        If a concurrent :meth:`clear` sweeps our temp file between
+        ``mkstemp`` and ``os.replace`` (it only sweeps *stale* ones, but
+        a pathological clock or threshold makes it possible), the write
+        is retried once with a fresh temp file instead of failing the
+        campaign point.
         """
         path = self.path_for(config)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.cache_dir, prefix=path.stem, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(result.to_json(indent=2))
-            os.replace(tmp_name, path)
-        except BaseException:
-            self._discard(Path(tmp_name))
-            raise
+        payload = result.to_json(indent=2)
+        for attempt in (0, 1):
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.cache_dir, prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, path)
+            except FileNotFoundError:
+                # Our temp file was swept out from under us; rewrite once.
+                self._discard(Path(tmp_name))
+                if attempt:
+                    raise
+                continue
+            except BaseException:
+                self._discard(Path(tmp_name))
+                raise
+            break
         self.stores += 1
         return path
 
     def clear(self) -> int:
         """Delete every cached entry; returns how many were removed.
 
-        Also sweeps orphaned ``*.tmp`` files left behind when a writer was
-        killed between ``mkstemp`` and ``os.replace``.
+        Also sweeps *stale* ``*.tmp`` files (older than
+        :data:`STALE_TMP_SECONDS`) left behind when a writer was killed
+        between ``mkstemp`` and ``os.replace``.  Fresh temp files are
+        left alone: they belong to live concurrent writers whose
+        ``os.replace`` would otherwise die with ``FileNotFoundError``.
         """
         removed = 0
         for path in self.cache_dir.glob("*.json"):
             self._discard(path)
             removed += 1
+        cutoff = time.time() - STALE_TMP_SECONDS
         for path in self.cache_dir.glob("*.tmp"):
-            self._discard(path)
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    self._discard(path)
+            except OSError:  # pragma: no cover - racing writer finished
+                pass
         return removed
 
     def __len__(self) -> int:

@@ -29,7 +29,7 @@ in :mod:`repro.network.link`.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 from repro.engine.kernel import no_wake
 from repro.network.link import ArrivalWheel
@@ -105,6 +105,10 @@ class NetworkInterface:
             self._credit_mailbox = deque()
         #: Wake callback installed by an activity-aware kernel.
         self._wake: Callable[[int], None] = no_wake
+        # Kernel active-flag view (see set_active_hint): the default
+        # always reads False, so un-registered interfaces wake per event.
+        self._kernel_active: Sequence[bool] = (False,)
+        self._kernel_index = 0
 
     # -- identity --------------------------------------------------------------
 
@@ -137,7 +141,8 @@ class NetworkInterface:
             self._eject_mailbox.far.append((arrival_cycle, vc, flit))
         else:
             self._eject_mailbox.append((arrival_cycle, vc, flit))
-        self._wake(arrival_cycle)
+        if not self._kernel_active[self._kernel_index]:
+            self._wake(arrival_cycle)
 
     def receive_credit(self, port: int, vc: int, arrival_cycle: int) -> None:
         """Accept a credit for a freed slot of the router's local input port."""
@@ -145,7 +150,8 @@ class NetworkInterface:
             self._credit_mailbox.far.append((arrival_cycle, vc))
         else:
             self._credit_mailbox.append((arrival_cycle, vc))
-        self._wake(arrival_cycle)
+        if not self._kernel_active[self._kernel_index]:
+            self._wake(arrival_cycle)
 
     def make_flit_receiver(self, port: int) -> Callable[[int, Flit, int], None]:
         """Prebound fast path of :meth:`receive_flit` (batched link
@@ -164,7 +170,8 @@ class NetworkInterface:
 
         def receiver(vc: int, flit: Flit, arrival_cycle: int) -> None:
             slots[arrival_cycle % size].append((vc, flit))
-            self._wake(arrival_cycle)
+            if not self._kernel_active[self._kernel_index]:
+                self._wake(arrival_cycle)
 
         return receiver
 
@@ -184,7 +191,8 @@ class NetworkInterface:
 
         def receiver(vc: int, arrival_cycle: int) -> None:
             slots[arrival_cycle % size].append(vc)
-            self._wake(arrival_cycle)
+            if not self._kernel_active[self._kernel_index]:
+                self._wake(arrival_cycle)
 
         return receiver
 
@@ -324,6 +332,13 @@ class NetworkInterface:
         """Install the kernel callback invoked when an event is scheduled
         for this interface (an ejected flit or a returned credit)."""
         self._wake = callback
+
+    def set_active_hint(self, flags: Sequence[bool], index: int) -> None:
+        """Install the kernel's live active-flag view of this interface;
+        send paths read ``flags[index]`` and skip the wake callback when
+        the interface is already active (see ``Router.set_active_hint``)."""
+        self._kernel_active = flags
+        self._kernel_index = index
 
     def next_event_cycle(self, cycle: int) -> Optional[int]:
         """Earliest cycle (``>= cycle``) at which this interface has work.

@@ -54,6 +54,11 @@ def port_direction(port: int) -> Tuple[int, int]:
     return dimension, (1 if offset == 0 else -1)
 
 
+#: (concrete topology class, dims) -> average distance; see
+#: :meth:`Topology.average_distance`.
+_AVERAGE_DISTANCE_CACHE: dict = {}
+
+
 class Topology:
     """Base class for regular point-to-point topologies.
 
@@ -213,22 +218,29 @@ class Topology:
     def average_distance(self) -> float:
         """Average minimal hop count over all ordered source/dest pairs.
 
-        The O(nodes^2) pair walk is memoized per instance: topologies are
-        immutable after construction and the simulator consults this both
-        for the cycle budget and the zero-load latency of every run.
+        The O(nodes^2) pair walk is memoized per instance *and* in a
+        class-keyed table shared across instances: topologies are
+        immutable after construction, the result is a pure function of
+        (concrete class, dims), and the simulator consults this for the
+        cycle budget and zero-load latency of every run -- at 32x32 and
+        above the pair walk would otherwise rival small simulations.
         """
         cached = getattr(self, "_average_distance", None)
         if cached is not None:
             return cached
-        total = 0
-        count = 0
-        for source in range(self._num_nodes):
-            for destination in range(self._num_nodes):
-                if source == destination:
-                    continue
-                total += self.distance(source, destination)
-                count += 1
-        average = total / count if count else 0.0
+        key = (type(self), self._dims)
+        average = _AVERAGE_DISTANCE_CACHE.get(key)
+        if average is None:
+            total = 0
+            count = 0
+            for source in range(self._num_nodes):
+                for destination in range(self._num_nodes):
+                    if source == destination:
+                        continue
+                    total += self.distance(source, destination)
+                    count += 1
+            average = total / count if count else 0.0
+            _AVERAGE_DISTANCE_CACHE[key] = average
         self._average_distance = average
         return average
 

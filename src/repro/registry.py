@@ -1,10 +1,10 @@
 """Named, introspectable plugin registries for every pluggable component.
 
-The simulator is assembled from nine kinds of interchangeable parts --
+The simulator is assembled from ten kinds of interchangeable parts --
 topologies, routing algorithms, routing-table organisations,
 path-selection heuristics, traffic patterns, injection processes, router
-pipelines, switch-allocation schedules and link-transport schedules --
-plus the scenario layer's
+pipelines, switch-allocation schedules, link-transport schedules and
+core schedules -- plus the scenario layer's
 reporters, analytic experiments and built-in studies.  Each kind has a :class:`Registry`
 mapping report names (the strings stored in
 :class:`~repro.core.config.SimulationConfig`) to factories, so user code
@@ -32,6 +32,7 @@ Factory signatures by kind (what the simulator calls for each entry):
 ``pipeline``   a :class:`~repro.router.pipeline.PipelineTiming` instance
 ``switch``     a :class:`~repro.router.switch.SwitchSchedule` instance
 ``link``       a :class:`~repro.network.link.LinkSchedule` instance
+``core``       a :class:`~repro.network.flatcore.CoreSchedule` instance
 ``reporter``   ``reporter(study, points, results, **options) -> rows``
 ``analytic``   ``analytic(**options) -> rows``
 ``study``      ``builder() -> Study`` (default-parameter built-in study)
@@ -55,6 +56,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "ANALYTICS",
+    "CORE_MODES",
     "INJECTIONS",
     "LINK_MODES",
     "PIPELINES",
@@ -260,6 +262,7 @@ INJECTIONS = Registry("injection process", ["repro.traffic.injection"])
 PIPELINES = Registry("router pipeline", ["repro.router.pipeline"])
 SWITCH_MODES = Registry("switch-allocation schedule", ["repro.router.switch"])
 LINK_MODES = Registry("link-transport schedule", ["repro.network.link"])
+CORE_MODES = Registry("core schedule", ["repro.network.flatcore"])
 REPORTERS = Registry("study reporter", ["repro.scenario.reporters"])
 ANALYTICS = Registry(
     "analytic experiment",
@@ -278,6 +281,7 @@ REGISTRIES: Dict[str, Registry] = {
     "pipeline": PIPELINES,
     "switch": SWITCH_MODES,
     "link": LINK_MODES,
+    "core": CORE_MODES,
     "reporter": REPORTERS,
     "analytic": ANALYTICS,
     "study": STUDIES,
@@ -318,6 +322,7 @@ CONFIG_FIELD_KINDS: Dict[str, str] = {
     "pipeline": "pipeline",
     "switch_mode": "switch",
     "link_mode": "link",
+    "core_mode": "core",
     "injection": "injection",
 }
 

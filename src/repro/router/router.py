@@ -73,7 +73,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.kernel import no_wake
 from repro.network.link import ArrivalWheel
@@ -250,6 +250,10 @@ class Router:
         self._output_arbiters = [RoundRobinArbiter(radix) for _ in range(radix)]
         #: Wake callback installed by an activity-aware kernel.
         self._wake: Callable[[int], None] = no_wake
+        # Kernel active-flag view (see set_active_hint): the default
+        # always reads False, so un-registered routers wake on every event.
+        self._kernel_active: Sequence[bool] = (False,)
+        self._kernel_index = 0
         #: Input virtual channels not in the IDLE state (cheap quiescence
         #: check; kept exact by the three state-transition sites below).
         self._occupied_channels = 0
@@ -366,7 +370,8 @@ class Router:
 
         def receiver(vc: int, flit: Flit, arrival_cycle: int) -> None:
             slots[arrival_cycle % size].append((base + vc, flit))
-            self._wake(arrival_cycle)
+            if not self._kernel_active[self._kernel_index]:
+                self._wake(arrival_cycle)
 
         return receiver
 
@@ -388,7 +393,8 @@ class Router:
 
         def receiver(vc: int, arrival_cycle: int) -> None:
             slots[arrival_cycle % size].append(base + vc)
-            self._wake(arrival_cycle)
+            if not self._kernel_active[self._kernel_index]:
+                self._wake(arrival_cycle)
 
         return receiver
 
@@ -418,7 +424,8 @@ class Router:
         else:
             self._flit_mailboxes[port].append((arrival_cycle, vc, flit))
             self._pending_flits += 1
-        self._wake(arrival_cycle)
+        if not self._kernel_active[self._kernel_index]:
+            self._wake(arrival_cycle)
 
     def receive_credit(self, port: int, vc: int, arrival_cycle: int) -> None:
         """Schedule a credit return for output ``(port, vc)`` at ``arrival_cycle``
@@ -428,7 +435,8 @@ class Router:
         else:
             self._credit_mailboxes[port].append((arrival_cycle, vc))
             self._pending_credits += 1
-        self._wake(arrival_cycle)
+        if not self._kernel_active[self._kernel_index]:
+            self._wake(arrival_cycle)
 
     def free_input_vcs(self, port: int) -> List[int]:
         """Input VCs of ``port`` that are idle and empty (used by injection)."""
@@ -923,6 +931,18 @@ class Router:
         """Install the kernel callback invoked when an event is scheduled
         for this router (a flit or credit posted to one of its mailboxes)."""
         self._wake = callback
+
+    def set_active_hint(self, flags: Sequence[bool], index: int) -> None:
+        """Install the kernel's live active-flag view of this router.
+
+        Send paths read ``flags[index]`` before invoking the wake
+        callback: when the router is already active the callback would
+        return immediately, so one boolean read replaces a call per
+        scheduled flit/credit arrival.  Without a kernel the default
+        hint reads False, so every event still wakes.
+        """
+        self._kernel_active = flags
+        self._kernel_index = index
 
     def next_event_cycle(self, cycle: int) -> Optional[int]:
         """Earliest cycle (``>= cycle``) at which this router has work.

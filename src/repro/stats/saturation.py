@@ -10,6 +10,7 @@ contention-free base latency.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.stats.latency import LatencySummary
@@ -53,7 +54,25 @@ def is_saturated(
     serialization), used to scale the latency threshold.
     """
     if summary.measured == 0:
-        return True
+        # Nothing made it through the measurement window.  Two very
+        # different situations land here:
+        #
+        # * the network could not deliver the offered traffic -- messages
+        #   were created but are stuck in flight (genuine saturation); or
+        # * nothing was *measured* at all because the budget expired before
+        #   warm-up completed (e.g. a short-budget near-zero-load run).
+        #   Calling that "Sat." would invert reality, so it is reported as
+        #   an insufficient measurement instead.
+        if summary.created > summary.delivered:
+            return True
+        warnings.warn(
+            "run measured zero post-warm-up messages without an undelivered "
+            "backlog; the cycle budget is too short for the warm-up window "
+            "and the result is insufficient rather than saturated",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return False
     if summary.completion_ratio < policy.min_completion_ratio:
         return True
     if zero_load_latency > 0 and summary.avg_total_latency > (

@@ -1,11 +1,11 @@
 """Smoke tests of the benchmark harnesses (marked ``bench``).
 
 Tier-1 skips these (see ``pytest.ini``); the full-matrix CI job and
-``pytest -m bench`` run them.  They execute the kernel and router
-benchmarks at smoke scale through their library entry points and check
-the invariants the committed ``BENCH_*.json`` artifacts rely on: the
-report schema, the bit-identical cross-checks, and (for the router
-bench) that the batched schedule is not slower than the reference.
+``pytest -m bench`` run them.  They execute the kernel, router, link
+and core benchmarks at smoke scale through their library entry points
+and check the invariants the committed ``BENCH_*.json`` artifacts rely
+on: the report schema, the bit-identical cross-checks, and (for the
+committed artifacts) that the optimised schedule did not lose.
 """
 
 from __future__ import annotations
@@ -135,6 +135,74 @@ def test_link_benchmark_cli_writes_report_and_gates(tmp_path):
          "--fail-below", "1000.0"]
     )
     assert code == 1
+
+
+def test_core_benchmark_smoke_report():
+    import bench_core
+
+    report = bench_core.run_benchmark(smoke=True, repeats=2)
+    assert report["benchmark"] == "core"
+    assert report["scale"] == "smoke"
+    assert report["summary"]["all_bit_identical"] is True
+    assert len(report["points"]) == 2
+    for point in report["points"]:
+        assert set(point) >= {
+            "mesh",
+            "normalized_load",
+            "saturation",
+            "objects_seconds",
+            "flat_seconds",
+            "speedup",
+            "bit_identical",
+        }
+    # No wall-clock assertion here (this test runs under coverage in the
+    # full-matrix job); the speed gate lives in the dedicated CI step
+    # (`bench_core.py --fail-below 0.9`).
+    assert isinstance(report["summary"]["min_speedup"], float)
+
+
+def test_core_benchmark_cli_writes_report_and_gates(tmp_path):
+    import bench_core
+
+    output = tmp_path / "core.json"
+    code = bench_core.main(
+        ["--scale", "smoke", "--repeats", "1", "--output", str(output)]
+    )
+    assert code == 0
+    assert output.exists()
+    code = bench_core.main(
+        ["--scale", "smoke", "--repeats", "1", "--output", str(output),
+         "--fail-below", "1000.0"]
+    )
+    assert code == 1
+
+
+def test_committed_core_bench_covers_the_grid():
+    """The committed BENCH_core.json must be a full-scale report that
+    samples the 16x16 saturation point (where the flat core's acceptance
+    target was >= 1.5x) and the first 32x32 saturation datapoint, with
+    both schedules bit-identical.
+
+    (Only >= 1.0 at 16x16 saturation and >= 0.9 overall are asserted so
+    the suite stays independent of the speed of whatever machine last
+    regenerated the machine-generated file.)"""
+    import json
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+    report = json.loads(path.read_text(encoding="utf-8"))
+    assert report["scale"] == "full"
+    assert report["summary"]["all_bit_identical"] is True
+    sat_16 = [
+        p for p in report["points"] if p["mesh"] == "16x16" and p["saturation"]
+    ]
+    assert sat_16, "full report must sample the 16x16 saturation point"
+    sat_32 = [
+        p for p in report["points"] if p["mesh"] == "32x32" and p["saturation"]
+    ]
+    assert sat_32, "full report must include the 32x32 saturation datapoint"
+    assert report["summary"]["speedup_16x16_saturation"] >= 1.0
+    assert report["summary"]["speedup_32x32_saturation"] is not None
+    assert report["summary"]["min_speedup"] >= 0.9
 
 
 def test_committed_link_bench_covers_the_grid():

@@ -4,6 +4,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -78,13 +79,77 @@ def test_numerically_equal_int_and_float_fields_share_a_key():
     assert config_cache_key(as_int) == config_cache_key(as_float)
 
 
-def test_clear_sweeps_orphaned_tmp_files(cache):
+def test_clear_sweeps_stale_tmp_files_only(cache):
+    """Only *stale* temp files are swept: a fresh one belongs to a live
+    concurrent writer whose ``os.replace`` must not be broken."""
+    from repro.exec.cache import STALE_TMP_SECONDS
+
     config = SimulationConfig.tiny()
     cache.put(config, make_result(config))
-    orphan = cache.cache_dir / "deadbeef0123.tmp"
-    orphan.write_text("half-written", encoding="utf-8")
+    stale = cache.cache_dir / "deadbeef0123.tmp"
+    stale.write_text("half-written by a crashed run", encoding="utf-8")
+    ancient = time.time() - STALE_TMP_SECONDS - 60
+    os.utime(stale, (ancient, ancient))
+    fresh = cache.cache_dir / "cafebabe4567.tmp"
+    fresh.write_text("being written right now", encoding="utf-8")
     assert cache.clear() == 1
-    assert not orphan.exists()
+    assert not stale.exists()
+    assert fresh.exists()
+
+
+def test_concurrent_clear_does_not_break_a_live_writer(cache):
+    """Regression for the clear()/put() race: a clear() running while
+    another process is between ``mkstemp`` and ``os.replace`` used to
+    sweep the live temp file, so the writer died with
+    ``FileNotFoundError``.  Simulate the race by sweeping every ``*.tmp``
+    (the old clear() behaviour) from inside the first ``os.replace``; the
+    write must succeed by rewriting once."""
+    config = SimulationConfig.tiny()
+    result = make_result(config)
+    real_replace = os.replace
+    raced = {"count": 0}
+
+    def racing_replace(src, dst):
+        if raced["count"] == 0:
+            raced["count"] += 1
+            for tmp in cache.cache_dir.glob("*.tmp"):
+                tmp.unlink()  # what the unguarded sweep used to do
+        return real_replace(src, dst)
+
+    os.replace = racing_replace
+    try:
+        path = cache.put(config, result)
+    finally:
+        os.replace = real_replace
+    assert raced["count"] == 1
+    assert path.exists()
+    assert cache.get(config) == result
+    assert cache.stores == 1
+
+
+def test_put_raises_if_the_temp_file_is_swept_twice(cache):
+    """The rewrite is attempted exactly once; a pathological environment
+    that keeps deleting the temp file surfaces the error instead of
+    looping."""
+    config = SimulationConfig.tiny()
+    real_replace = os.replace
+    calls = {"count": 0}
+
+    def always_racing_replace(src, dst):
+        calls["count"] += 1
+        for tmp in cache.cache_dir.glob("*.tmp"):
+            tmp.unlink()
+        return real_replace(src, dst)
+
+    os.replace = always_racing_replace
+    try:
+        with pytest.raises(FileNotFoundError):
+            cache.put(config, make_result(config))
+    finally:
+        os.replace = real_replace
+    assert calls["count"] == 2
+    assert cache.stores == 0
+    assert not list(cache.cache_dir.glob("*.tmp"))
 
 
 def test_corrupted_file_is_a_miss_and_is_discarded(cache):
@@ -153,13 +218,14 @@ def test_cache_key_is_stable_across_processes():
 # -- format v3+: component provenance in the key -------------------------------------
 
 
-def test_cache_format_is_v5():
+def test_cache_format_is_v6():
     # v3 added component provenance; v4 added the switch_mode config
-    # field and its schedule provenance; v5 added link_mode and its
-    # schedule provenance (see CACHE_FORMAT_VERSION docs).
+    # field and its schedule provenance; v5 added link_mode; v6 added
+    # core_mode and its schedule provenance (see CACHE_FORMAT_VERSION
+    # docs).
     from repro.exec.cache import CACHE_FORMAT_VERSION
 
-    assert CACHE_FORMAT_VERSION == 5
+    assert CACHE_FORMAT_VERSION == 6
 
 
 def test_switch_mode_feeds_the_key():
@@ -186,6 +252,65 @@ def test_link_mode_feeds_the_key():
         config_cache_key(batched.variant(switch_mode="reference", link_mode="reference")),
     }
     assert len(keys) == 4
+
+
+def test_core_mode_feeds_the_key():
+    # The two core schedules are bit-identical, but their results live in
+    # distinct slots, and the core axis never aliases the other two mode
+    # axes.
+    base = SimulationConfig.tiny()
+    keys = {
+        config_cache_key(base),
+        config_cache_key(base.variant(core_mode="flat")),
+        config_cache_key(base.variant(switch_mode="reference")),
+        config_cache_key(base.variant(link_mode="reference")),
+        config_cache_key(base.variant(core_mode="flat", switch_mode="reference")),
+    }
+    assert len(keys) == 5
+
+
+def _v5_style_key(config):
+    """The pre-v6 key derivation: no ``core_mode`` field or provenance."""
+    import hashlib
+
+    from repro.registry import config_component_provenance
+
+    config_dict = {
+        key: value for key, value in config.to_dict().items() if key != "core_mode"
+    }
+    components = {
+        key: value
+        for key, value in config_component_provenance(config).items()
+        if key != "core_mode"
+    }
+    payload = json.dumps(
+        {
+            "format": 5,
+            "version": repro.__version__,
+            "config": config_dict,
+            "components": components,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def test_v5_format_entries_are_ignored_not_misread(cache):
+    # An entry stored under the v5 key derivation (before configurations
+    # had a core_mode) must be invisible to the v6 code: a clean miss,
+    # never a misread -- the point is re-simulated under the v6 key.
+    config = SimulationConfig.tiny()
+    stale = make_result(config, latency=888.0)
+    old_path = cache.cache_dir / f"{_v5_style_key(config)}.json"
+    old_path.write_text(stale.to_json(), encoding="utf-8")
+    assert cache.get(config) is None
+    assert cache.misses == 1
+    assert old_path.exists()  # never looked at, merely orphaned
+    fresh = make_result(config, latency=30.0)
+    cache.put(config, fresh)
+    assert cache.get(config) == fresh
+    assert config_cache_key(config) != _v5_style_key(config)
 
 
 def _v2_style_key(config):

@@ -1,7 +1,9 @@
-"""Tests for the per-table/figure experiment runners.
+"""Tests for the paper's per-table/figure experiments.
 
-Each runner is exercised with a deliberately tiny configuration so the
-whole file stays fast; the semantic assertions check the paper's
+Each experiment runs through its builtin Study (the supported path; the
+legacy ``run_*`` shims are deprecated and covered by
+``test_deprecations.py`` only) with a deliberately tiny configuration so
+the whole file stays fast.  The semantic assertions check the paper's
 qualitative claims (look-ahead helps at low load, ES equals the full
 table, the Figure 7 programming) rather than absolute numbers.
 """
@@ -9,14 +11,15 @@ table, the Figure 7 programming) rather than absolute numbers.
 import pytest
 
 from repro.core.config import SimulationConfig
-from repro.core.experiments import (
+from repro.scenario import run_study
+from repro.scenario.builtin import (
     ROUTER_VARIANTS,
-    run_cost_table,
-    run_es_programming_example,
-    run_lookahead_comparison,
-    run_message_length_study,
-    run_path_selection_study,
-    run_table_storage_study,
+    cost_table_study,
+    es_programming_study,
+    lookahead_study,
+    message_length_study,
+    path_selection_study,
+    table_storage_study,
 )
 
 
@@ -30,9 +33,9 @@ def test_router_variants_cover_the_four_organisations():
 
 
 def test_lookahead_comparison_rows(tiny_config):
-    rows = run_lookahead_comparison(
-        tiny_config, traffic_patterns=("uniform",), loads=(0.15,)
-    )
+    rows = run_study(
+        lookahead_study(tiny_config, traffic_patterns=("uniform",), loads=(0.15,))
+    ).rows
     assert len(rows) == 1
     row = rows[0]
     assert row["traffic"] == "uniform"
@@ -46,9 +49,11 @@ def test_lookahead_comparison_rows(tiny_config):
 
 
 def test_message_length_study_shows_shrinking_benefit(tiny_config):
-    rows = run_message_length_study(
-        tiny_config, message_lengths=(2, 16), traffic="uniform", load=0.15
-    )
+    rows = run_study(
+        message_length_study(
+            tiny_config, message_lengths=(2, 16), traffic="uniform", load=0.15
+        )
+    ).rows
     assert [row["message_length"] for row in rows] == [2, 16]
     short, long = rows
     assert short["pct_improvement"] > long["pct_improvement"]
@@ -56,12 +61,14 @@ def test_message_length_study_shows_shrinking_benefit(tiny_config):
 
 
 def test_path_selection_study_rows(tiny_config):
-    rows = run_path_selection_study(
-        tiny_config,
-        selectors=("static-xy", "max-credit"),
-        traffic_patterns=("transpose",),
-        loads=(0.3,),
-    )
+    rows = run_study(
+        path_selection_study(
+            tiny_config,
+            selectors=("static-xy", "max-credit"),
+            traffic_patterns=("transpose",),
+            loads=(0.3,),
+        )
+    ).rows
     assert len(rows) == 1
     row = rows[0]
     assert row["static-xy_latency"] > 0
@@ -69,12 +76,14 @@ def test_path_selection_study_rows(tiny_config):
 
 
 def test_table_storage_study_economical_equals_full(tiny_config):
-    rows = run_table_storage_study(
-        tiny_config,
-        traffic_patterns=("uniform",),
-        loads=(0.2,),
-        include_full_table=True,
-    )
+    rows = run_study(
+        table_storage_study(
+            tiny_config,
+            traffic_patterns=("uniform",),
+            loads=(0.2,),
+            include_full_table=True,
+        )
+    ).rows
     row = rows[0]
     assert row["economical_latency"] == pytest.approx(row["full_table_latency"])
     assert row["meta_deterministic_latency"] > 0
@@ -82,16 +91,18 @@ def test_table_storage_study_economical_equals_full(tiny_config):
 
 
 def test_cost_table_matches_paper_values():
-    rows = {row["scheme"]: row for row in run_cost_table(num_nodes=256, n_dims=2)}
+    table = run_study(cost_table_study(num_nodes=256, n_dims=2)).rows
+    rows = {row["scheme"]: row for row in table}
     assert rows["full-table"]["entries_per_router"] == 256
     assert rows["economical-storage"]["entries_per_router"] == 9
     assert rows["interval"]["entries_per_router"] == 5
-    t3d = {row["scheme"]: row for row in run_cost_table(num_nodes=2048, n_dims=3)}
+    table_3d = run_study(cost_table_study(num_nodes=2048, n_dims=3)).rows
+    t3d = {row["scheme"]: row for row in table_3d}
     assert t3d["economical-storage"]["entries_per_router"] == 27
 
 
 def test_es_programming_example_matches_figure7():
-    rows = run_es_programming_example()
+    rows = run_study(es_programming_study()).rows
     assert len(rows) == 9
     by_destination = {row["destination"]: row for row in rows}
     # Destination (0,2): candidates -X and +Y, North-Last keeps only -X.

@@ -198,6 +198,93 @@ def test_activity_step_executes_single_cycles():
     assert [entry[0] for entry in log if entry[2] == "deliver"] == [0, 2]
 
 
+# -- sender-side active hint --------------------------------------------------
+
+
+class HintedComponent(SleepyComponent):
+    """Sleepy component that also accepts the kernel's active-flag view,
+    the way routers and interfaces do via ``set_active_hint``."""
+
+    def __init__(self, name, log, events):
+        super().__init__(name, log, events)
+        self.flags = None
+        self.index = None
+
+    def set_active_hint(self, flags, index):
+        self.flags = flags
+        self.index = index
+
+
+def test_register_installs_the_live_active_flag_view_in_both_modes():
+    """``set_active_hint`` receives the kernel's *own* active list (not a
+    copy) plus the component's slot, in exhaustive and activity mode
+    alike, and the slot starts True."""
+    for mode in ("exhaustive", "activity"):
+        kernel = SimulationKernel(mode=mode)
+        component = HintedComponent("h", [], events=[])
+        kernel.register(component)
+        assert component.flags is kernel._active, mode
+        assert component.index == 0, mode
+        assert component.flags[component.index] is True, mode
+
+
+def test_active_hint_tracks_quiescence_and_wakeups():
+    """The flag the senders read goes False when the component sleeps and
+    True again once a wake re-activates it."""
+    log = []
+    kernel = SimulationKernel(mode="activity")
+    component = HintedComponent("h", log, events=[])
+    kernel.register(component)
+    assert component.flags[component.index]
+    kernel.run(2)  # runs cycle 0, then quiesces with nothing scheduled
+    assert not component.flags[component.index]
+    component.wake(3)
+    kernel.run(5)  # re-activated at cycle 3, then quiesces again
+    assert [entry[0] for entry in log if entry[2] == "deliver"] == [0, 3]
+    assert not component.flags[component.index]
+
+
+def test_exhaustive_mode_keeps_the_hint_true_forever():
+    """Exhaustive kernels never sleep components, so a guarded sender
+    (skip the callback when the flag is True) never calls it at all."""
+    kernel = SimulationKernel()
+    component = HintedComponent("h", [], events=[])
+    kernel.register(component)
+    kernel.run(5)
+    assert component.flags[component.index] is True
+
+
+def _drive_wake_schedule(skip_when_active):
+    """One receiver plus a scripted sender; the sender either always
+    invokes the wake callback (the old behaviour) or first checks the
+    active flag the way the wired send paths now do."""
+    log = []
+    kernel = SimulationKernel(mode="activity")
+    receiver = HintedComponent("r", log, events=[])
+    kernel.register(receiver)
+
+    def send(when):
+        if skip_when_active and receiver.flags[receiver.index]:
+            return
+        receiver.wake(when)
+
+    send(0)  # receiver still active from registration
+    kernel.run(3)  # receiver runs cycle 0, then sleeps
+    send(5)  # receiver asleep: the wake must go through
+    send(7)  # still asleep; later wake ignored while 5 is pending
+    kernel.run(10)
+    return [entry[0] for entry in log if entry[2] == "deliver"]
+
+
+def test_skipping_wake_when_active_is_identical_to_always_waking():
+    """The senders' flag check is exactly the condition under which
+    ``_wake`` early-returns, so guarding the callback changes nothing
+    about which cycles the receiver runs."""
+    guarded = _drive_wake_schedule(skip_when_active=True)
+    always = _drive_wake_schedule(skip_when_active=False)
+    assert guarded == always == [0, 5]
+
+
 def test_mode_is_reported():
     assert SimulationKernel().mode == "exhaustive"
     assert SimulationKernel(mode="activity").mode == "activity"

@@ -1,15 +1,24 @@
 """Bit-identical equivalence across the full schedule cube.
 
-The simulator now has three independent two-implementations-one-semantics
+The simulator has four independent two-implementations-one-semantics
 axes: the kernel schedule (``exhaustive``/``activity``), the router
-busy-path schedule (``switch_mode``) and the link-transport schedule
-(``link_mode``).  The PR 4 equivalence tests cross kernel x switch; this
-module extends the pattern to the *full cube* -- every run of a seeded
-randomized configuration must produce a field-for-field identical
-:class:`~repro.core.results.SimulationResult` under all eight
-(kernel, switch, link) combinations, with the
-(exhaustive, reference, reference) corner as the executable
+busy-path schedule (``switch_mode``), the link-transport schedule
+(``link_mode``) and the core schedule (``core_mode``: the per-component
+object network versus the flat struct-of-arrays core).  Every run of a
+seeded randomized configuration must produce a field-for-field identical
+:class:`~repro.core.results.SimulationResult` under all sixteen
+(kernel, switch, link, core) combinations, with the
+(exhaustive, reference, reference, objects) corner as the executable
 specification.
+
+The flat core lowers the *whole network* -- every router and interface
+-- into global flat arrays walked once per cycle, so its combinations
+exercise a completely independent implementation of VC allocation,
+switch arbitration, link transport and injection against the same
+semantics.  (Under ``core_mode="flat"`` the ``switch_mode``/``link_mode``
+fields are carried in the config but the flat core's single pass
+subsumes both schedules; the cube still runs those combinations to pin
+the invariance.)
 
 The batched link transport may only restructure *how* in-flight flits
 and credits are stored and drained -- per-link arrival lanes consumed as
@@ -32,11 +41,14 @@ from repro.core.simulator import NetworkSimulator
 KERNEL_MODES = ("exhaustive", "activity")
 SWITCH_MODES = ("reference", "batched")
 LINK_MODES = ("reference", "batched")
+CORE_MODES = ("objects", "flat")
 
-#: All eight schedule combinations; the first entry is the specification
-#: corner every other combination is compared against.
-SCHEDULE_CUBE = tuple(itertools.product(KERNEL_MODES, SWITCH_MODES, LINK_MODES))
-assert SCHEDULE_CUBE[0] == ("exhaustive", "reference", "reference")
+#: All sixteen schedule combinations; the first entry is the
+#: specification corner every other combination is compared against.
+SCHEDULE_CUBE = tuple(
+    itertools.product(KERNEL_MODES, SWITCH_MODES, LINK_MODES, CORE_MODES)
+)
+assert SCHEDULE_CUBE[0] == ("exhaustive", "reference", "reference", "objects")
 
 
 def _random_config(seed: int) -> SimulationConfig:
@@ -71,9 +83,16 @@ def _random_config(seed: int) -> SimulationConfig:
     )
 
 
-def _run(config: SimulationConfig, kernel: str, switch: str, link: str):
+def _run(
+    config: SimulationConfig,
+    kernel: str,
+    switch: str,
+    link: str,
+    core: str = "objects",
+):
     return NetworkSimulator(
-        config.variant(switch_mode=switch, link_mode=link), kernel_mode=kernel
+        config.variant(switch_mode=switch, link_mode=link, core_mode=core),
+        kernel_mode=kernel,
     ).run()
 
 
@@ -95,17 +114,20 @@ def _assert_equivalent(actual, reference, combo) -> None:
     assert actual.cycles == reference.cycles, combo
     assert actual.zero_load_latency == reference.zero_load_latency, combo
     assert actual.effective_message_rate == reference.effective_message_rate, combo
+    normalise = dict(
+        switch_mode="reference", link_mode="reference", core_mode="objects"
+    )
     assert (
-        actual.config.variant(switch_mode="reference", link_mode="reference")
-        == reference.config.variant(switch_mode="reference", link_mode="reference")
+        actual.config.variant(**normalise)
+        == reference.config.variant(**normalise)
     ), combo
 
 
 @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
 def test_full_schedule_cube_is_bit_identical(seed):
-    """Every (kernel, switch, link) combination reproduces the
-    (exhaustive, reference, reference) specification corner bit for bit
-    on a randomized configuration."""
+    """Every (kernel, switch, link, core) combination reproduces the
+    (exhaustive, reference, reference, objects) specification corner bit
+    for bit on a randomized configuration."""
     config = _random_config(seed)
     baseline = _run(config, *SCHEDULE_CUBE[0])
     for combo in SCHEDULE_CUBE[1:]:
@@ -141,6 +163,8 @@ def test_link_axis_under_contention(overrides, kernel_mode):
     reference = _run(config, kernel_mode, "batched", "reference")
     batched = _run(config, kernel_mode, "batched", "batched")
     _assert_equivalent(batched, reference, (kernel_mode, "batched", "link-axis"))
+    flat = _run(config, kernel_mode, "batched", "batched", "flat")
+    _assert_equivalent(flat, reference, (kernel_mode, "flat", "core-axis"))
 
 
 def test_single_flit_messages_cross_the_cube():
@@ -181,6 +205,28 @@ def test_link_mode_recorded_in_result_config():
     config = SimulationConfig.tiny(normalized_load=0.1, seed=5)
     assert _run(config, "activity", "batched", "reference").config.link_mode == "reference"
     assert _run(config, "activity", "batched", "batched").config.link_mode == "batched"
+
+
+def test_core_mode_recorded_in_result_config():
+    config = SimulationConfig.tiny(normalized_load=0.1, seed=5)
+    objects = _run(config, "activity", "batched", "batched", "objects")
+    flat = _run(config, "activity", "batched", "batched", "flat")
+    assert objects.config.core_mode == "objects"
+    assert flat.config.core_mode == "flat"
+
+
+def test_core_axis_identical_json_across_kernels():
+    """For the flat core the full result JSON -- config included -- must
+    match across the kernel axis, as for the other three axes."""
+    config = SimulationConfig.tiny(normalized_load=0.6, seed=17)
+    activity = _run(config, "activity", "batched", "batched", "flat")
+    exhaustive = _run(config, "exhaustive", "batched", "batched", "flat")
+    assert activity.to_json() == exhaustive.to_json()
+
+
+def test_config_rejects_unknown_core_mode():
+    with pytest.raises(ValueError, match="core"):
+        SimulationConfig.tiny(core_mode="holographic")
 
 
 def test_config_rejects_unknown_link_mode():

@@ -21,6 +21,11 @@ quirks the reference would not share:
 
 Everything is driven by seeded ``random.Random`` instances, so failures
 reproduce exactly.
+
+The same laws are re-checked against the flat struct-of-arrays core
+(``core_mode="flat"``), which re-implements the whole network's hot path
+over global arrays: conservation, drained-state emptiness, forwarding
+accounting and priority-pointer parity with the object core.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from repro.router.arbiter import RoundRobinArbiter
 
 SWITCH_MODES = ("batched", "reference")
 LINK_MODES = ("batched", "reference")
+CORE_MODES = ("objects", "flat")
 
 
 # -- randomized end-to-end runs ------------------------------------------------------
@@ -297,6 +303,102 @@ def test_membership_arrays_empty_after_drain(seed):
         assert router._routing_members == []
         assert router._active_members == []
         assert router._occupied_channels == 0
+
+
+# -- flat-core properties ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+def test_flat_core_flit_and_credit_conservation(seed):
+    """The conservation laws hold verbatim on the flat struct-of-arrays
+    core: nothing lost or duplicated, the drained arrays all idle, and
+    every output VC's credits (plus the in-flight returns stranded when
+    the kernel stops) back at the full buffer depth."""
+    config = _random_config(seed).variant(core_mode="flat")
+    simulator, result, delivered = _run_with_delivery_log(config)
+
+    stats = simulator.stats
+    assert stats.delivered == stats.created, (
+        f"flit loss: created {stats.created}, delivered {stats.delivered} "
+        f"(seed {seed}, flat core)"
+    )
+    seen_ids = [message.message_id for message in delivered]
+    assert len(seen_ids) == len(set(seen_ids)), "duplicated delivery"
+    assert result.summary.completion_ratio == 1.0
+
+    core = simulator.core
+    assert core is not None
+    assert core.is_idle()
+
+    depth = config.buffer_depth
+    radix = simulator.topology.radix
+    vcs = config.vcs_per_port
+    for node in range(config.num_nodes):
+        in_flight = defaultdict(int)
+        for port, vc in core.in_flight_credits(node):
+            in_flight[(port, vc)] += 1
+        for port in range(radix):
+            if not core._out_connected[node * radix + port]:
+                continue
+            for vc in range(vcs):
+                assert core.output_owner(node, port, vc) == -1, (
+                    f"node {node} port {port} VC {vc} still allocated "
+                    f"after drain (seed {seed}, flat core)"
+                )
+                total = core.output_credits(node, port, vc) + in_flight[(port, vc)]
+                assert total == depth, (
+                    f"node {node} port {port} VC {vc} credits do not "
+                    f"conserve: {total} != {depth} (seed {seed}, flat core)"
+                )
+
+    flit_hops = sum(message.length * message.hops for message in delivered)
+    assert sum(core.flits_forwarded) == flit_hops
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_flat_core_counters_match_object_core(seed):
+    """The flat core's per-node crossbar/header counters equal the object
+    routers' counters node for node -- not just in aggregate."""
+    config = _random_config(seed)
+    objects = NetworkSimulator(config.variant(core_mode="objects"))
+    flat = NetworkSimulator(config.variant(core_mode="flat"))
+    objects.run()
+    flat.run()
+    core = flat.core
+    for node, router in enumerate(objects.network.routers):
+        assert core.flits_forwarded[node] == router.flits_forwarded
+        assert core.headers_routed[node] == router.headers_routed
+
+
+def test_flat_core_priority_pointers_match_object_core():
+    """After identical runs the flat core's global priority arrays equal
+    the batched object routers' per-router arrays -- one rotating
+    round-robin priority in two bookkeeping forms, so the arbiters of the
+    two cores stay fair in lockstep."""
+    config = _random_config(31).variant(switch_mode="batched")
+    objects = NetworkSimulator(config.variant(core_mode="objects"))
+    flat = NetworkSimulator(config.variant(core_mode="flat"))
+    objects.run()
+    flat.run()
+    core = flat.core
+    radix = objects.topology.radix
+    for node, router in enumerate(objects.network.routers):
+        base = node * radix
+        assert core._in_prio[base:base + radix] == router._input_priorities
+        assert core._out_prio[base:base + radix] == router._output_priorities
+
+
+@pytest.mark.parametrize("seed", [41, 42])
+def test_flat_core_membership_lists_empty_after_drain(seed):
+    """The flat core's per-node ROUTING/ACTIVE membership lists must be
+    exact: after a drained run they are empty, matching all-IDLE state."""
+    config = _random_config(seed).variant(core_mode="flat")
+    simulator = NetworkSimulator(config)
+    simulator.run()
+    core = simulator.core
+    assert core.is_idle()
+    assert all(members == [] for members in core._routing_members)
+    assert all(members == [] for members in core._active_members)
 
 
 # -- link-transport wheel integrity --------------------------------------------------

@@ -145,10 +145,10 @@ def test_summary_as_dict_round_trip():
 # -- saturation policy ---------------------------------------------------------------
 
 
-def make_summary(latency=50.0, completion=1.0, measured=100):
+def make_summary(latency=50.0, completion=1.0, measured=100, created=None, delivered=None):
     return LatencySummary(
-        created=measured,
-        delivered=measured,
+        created=measured if created is None else created,
+        delivered=measured if delivered is None else delivered,
         measured=measured,
         avg_total_latency=latency,
         avg_network_latency=latency - 2,
@@ -172,8 +172,45 @@ def test_exploded_latency_is_saturated():
     assert not is_saturated(make_summary(latency=200.0), zero_load_latency=40.0, policy=policy)
 
 
-def test_zero_measured_messages_is_saturated():
-    assert is_saturated(make_summary(measured=0), zero_load_latency=40.0)
+def test_zero_measured_with_undelivered_backlog_is_saturated():
+    """Messages were created but are stuck in flight: the network could
+    not deliver the offered traffic, which is genuine saturation."""
+    summary = make_summary(measured=0, completion=0.0, created=50, delivered=3)
+    assert is_saturated(summary, zero_load_latency=40.0)
+
+
+def test_zero_measured_without_backlog_is_insufficient_not_saturated():
+    """Regression: a short-budget near-zero-load run where warm-up never
+    completed used to be reported as "Sat.".  Nothing is stuck -- there
+    is simply no measurement -- so it must not be flagged, and a warning
+    must point at the insufficient cycle budget."""
+    summary = make_summary(measured=0, completion=0.0, created=8, delivered=8)
+    with pytest.warns(RuntimeWarning, match="insufficient"):
+        assert not is_saturated(summary, zero_load_latency=40.0)
+
+
+def test_zero_measured_short_budget_run_end_to_end():
+    """The full-pipeline version of the regression: a tiny cycle budget
+    at near-zero load measures nothing, and the result must come back
+    not-saturated with an "n/a" label instead of "Sat."."""
+    import warnings as warnings_module
+
+    from repro.core.config import SimulationConfig
+    from repro.core.simulator import NetworkSimulator
+
+    config = SimulationConfig.tiny(
+        normalized_load=0.005,
+        warmup_messages=50,
+        measure_messages=100,
+        drain_factor=0.001,  # strangle the budget so warm-up cannot finish
+    )
+    with warnings_module.catch_warnings():
+        warnings_module.simplefilter("ignore", RuntimeWarning)
+        result = NetworkSimulator(config).run()
+    assert result.summary.measured == 0
+    assert result.summary.created == result.summary.delivered
+    assert not result.summary.saturated
+    assert result.latency_label() == "n/a"
 
 
 def test_healthy_run_is_not_saturated():
