@@ -14,7 +14,6 @@ only a few seconds to the harness.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.core.config import SimulationConfig

@@ -1,0 +1,60 @@
+"""Static analysis of the repro house style.
+
+The repo's fast paths (activity kernel, batched switch, batched link,
+flat core) stay bit-identical to their reference schedules only while a
+handful of conventions hold: seeded RNG streams only, no unordered
+iteration in simulation code, a hand-bumped ``CACHE_FORMAT_VERSION``
+whenever the cache-key surface moves, and a wake/active-hint guard at
+every quiescence-relevant mutation site.  This package enforces those
+conventions *statically*, before an expensive campaign can diverge:
+
+=========  =========================================================
+family     checks
+=========  =========================================================
+``D``      determinism: set iteration, ambient ``random``, unseeded
+           RNGs, wall-clock/`id()` ordering
+           (:mod:`repro.analysis.determinism`)
+``C``      cache-key drift against the committed
+           ``cache_key.fingerprint`` (:mod:`repro.analysis.cachekey`)
+``W``      wake-contract pairing at declared mutation sites
+           (:mod:`repro.analysis.wake`)
+``R``      registry constructibility, study-spec fields, schedule
+           pairs (:mod:`repro.analysis.registry_spec`)
+=========  =========================================================
+
+Run it with ``python -m repro.analysis src/repro`` or ``repro.cli
+lint``; suppress a finding inline with ``# repro: allow=<RULE>``
+(documented in :mod:`repro.analysis.source`).  The exit code is the OR
+of the failing families' bits (D=1, C=2, W=4, R=8).
+"""
+
+from repro.analysis.cachekey import (
+    cache_key_findings,
+    current_fingerprint,
+    default_fingerprint_path,
+    load_fingerprint,
+    write_fingerprint,
+)
+from repro.analysis.findings import FAMILIES, FAMILY_EXIT_BITS, RULES, Finding, Rule
+from repro.analysis.runner import LintReport, main, run_lint
+from repro.analysis.source import PythonSource, discover_sources
+from repro.analysis.wake import WAKE_CONTRACTS
+
+__all__ = [
+    "FAMILIES",
+    "FAMILY_EXIT_BITS",
+    "Finding",
+    "LintReport",
+    "PythonSource",
+    "RULES",
+    "Rule",
+    "WAKE_CONTRACTS",
+    "cache_key_findings",
+    "current_fingerprint",
+    "default_fingerprint_path",
+    "discover_sources",
+    "load_fingerprint",
+    "main",
+    "run_lint",
+    "write_fingerprint",
+]

@@ -1,0 +1,220 @@
+"""C-checks: the result-cache key surface versus its committed fingerprint.
+
+The content-addressed result cache (:mod:`repro.exec.cache`) keys every
+entry by the configuration dictionary plus component provenance, under
+``CACHE_FORMAT_VERSION``.  Changing what goes *into* that key -- adding
+or removing a :class:`~repro.core.config.SimulationConfig` field,
+changing a default, changing which fields contribute provenance --
+without bumping the version would let results computed before the change
+be served for configurations that no longer mean the same thing.
+
+The guard is a committed fingerprint
+(``src/repro/analysis/cache_key.fingerprint``, JSON) of that surface:
+
+* ``config_fields`` -- every ``SimulationConfig`` field name with the
+  repr of its default;
+* ``provenance_fields`` -- the fields whose component provenance is
+  folded into the key (``CONFIG_FIELD_KINDS`` plus ``topology``);
+* ``cache_format_version`` -- the ``CACHE_FORMAT_VERSION`` the surface
+  was recorded under.
+
+The check (:func:`cache_key_findings`) is a pure function of the current
+and recorded fingerprints, so tests can replay any drift scenario:
+
+* surface changed, version unchanged -> **C001** (bump the version);
+* surface changed, version bumped -> **C002** (regenerate the
+  fingerprint: ``lint --update-fingerprint``);
+* surface unchanged, version changed, or no readable fingerprint ->
+  **C002** likewise.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import MISSING, fields
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.base import Checker
+from repro.analysis.findings import Finding
+from repro.analysis.source import PythonSource
+
+__all__ = [
+    "CacheKeyChecker",
+    "cache_key_findings",
+    "current_fingerprint",
+    "default_fingerprint_path",
+    "load_fingerprint",
+    "write_fingerprint",
+]
+
+#: Keys of the fingerprint that form the cache-key *surface* (everything
+#: except the version it was recorded under).
+_SURFACE_KEYS = ("config_fields", "provenance_fields")
+
+
+def default_fingerprint_path() -> Path:
+    """The committed fingerprint next to this package."""
+    return Path(__file__).with_name("cache_key.fingerprint")
+
+
+def current_fingerprint() -> Dict[str, object]:
+    """The live cache-key surface plus the current format version."""
+    from repro.core.config import SimulationConfig
+    from repro.exec.cache import CACHE_FORMAT_VERSION
+    from repro.registry import CONFIG_FIELD_KINDS
+
+    config_fields: Dict[str, str] = {}
+    for spec in fields(SimulationConfig):
+        if spec.default is not MISSING:
+            default = repr(spec.default)
+        elif spec.default_factory is not MISSING:  # type: ignore[misc]
+            default = f"<factory {spec.default_factory.__name__}>"  # type: ignore[misc]
+        else:
+            default = "<required>"
+        config_fields[spec.name] = default
+    return {
+        "cache_format_version": CACHE_FORMAT_VERSION,
+        "config_fields": config_fields,
+        "provenance_fields": sorted(list(CONFIG_FIELD_KINDS) + ["topology"]),
+    }
+
+
+def load_fingerprint(path: Path) -> Optional[Dict[str, object]]:
+    """The recorded fingerprint, or None when missing/unreadable."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def write_fingerprint(path: Optional[Path] = None) -> Path:
+    """Record the current surface at ``path`` (default: the committed one)."""
+    path = Path(path) if path is not None else default_fingerprint_path()
+    text = json.dumps(current_fingerprint(), indent=2, sort_keys=True) + "\n"
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def _surface(fingerprint: Dict[str, object]) -> Dict[str, object]:
+    return {key: fingerprint.get(key) for key in _SURFACE_KEYS}
+
+
+def _describe_drift(
+    current: Dict[str, object], recorded: Dict[str, object]
+) -> str:
+    """Human-readable summary of what moved between the two surfaces."""
+    parts: List[str] = []
+    cur_fields = current.get("config_fields") or {}
+    rec_fields = recorded.get("config_fields") or {}
+    if isinstance(cur_fields, dict) and isinstance(rec_fields, dict):
+        added = sorted(set(cur_fields) - set(rec_fields))
+        removed = sorted(set(rec_fields) - set(cur_fields))
+        changed = sorted(
+            name
+            for name in set(cur_fields) & set(rec_fields)
+            if cur_fields[name] != rec_fields[name]
+        )
+        if added:
+            parts.append(f"fields added: {', '.join(added)}")
+        if removed:
+            parts.append(f"fields removed: {', '.join(removed)}")
+        if changed:
+            parts.append(f"defaults changed: {', '.join(changed)}")
+    if current.get("provenance_fields") != recorded.get("provenance_fields"):
+        parts.append("provenance field list changed")
+    return "; ".join(parts) or "surface changed"
+
+
+def _version_anchor() -> tuple:
+    """(path, line) of the CACHE_FORMAT_VERSION assignment, best effort."""
+    try:
+        from repro.exec import cache as cache_module
+
+        path = Path(cache_module.__file__)
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if re.match(r"\s*CACHE_FORMAT_VERSION\s*=", line):
+                return str(path), number
+        return str(path), 1
+    except Exception:  # pragma: no cover - introspection fallback
+        return "src/repro/exec/cache.py", 1
+
+
+def cache_key_findings(
+    current: Dict[str, object],
+    recorded: Optional[Dict[str, object]],
+    fingerprint_path: Path,
+) -> List[Finding]:
+    """C-findings for ``current`` (live) versus ``recorded`` surfaces."""
+    fingerprint_name = str(fingerprint_path)
+    if recorded is None:
+        return [
+            Finding(
+                rule="C002",
+                path=fingerprint_name,
+                line=1,
+                message=(
+                    "cache-key fingerprint is missing or unreadable; "
+                    "regenerate it with: lint --update-fingerprint"
+                ),
+            )
+        ]
+    findings: List[Finding] = []
+    surface_drifted = _surface(current) != _surface(recorded)
+    version_changed = current.get("cache_format_version") != recorded.get(
+        "cache_format_version"
+    )
+    if surface_drifted and not version_changed:
+        cache_path, cache_line = _version_anchor()
+        drift = _describe_drift(current, recorded)
+        findings.append(
+            Finding(
+                rule="C001",
+                path=cache_path,
+                line=cache_line,
+                message=(
+                    f"cache-key surface changed ({drift}) but "
+                    f"CACHE_FORMAT_VERSION is still "
+                    f"{current.get('cache_format_version')}; bump it here, "
+                    "then regenerate the fingerprint "
+                    "(lint --update-fingerprint)"
+                ),
+            )
+        )
+    elif surface_drifted or version_changed:
+        findings.append(
+            Finding(
+                rule="C002",
+                path=fingerprint_name,
+                line=1,
+                message=(
+                    "recorded cache-key fingerprint is stale "
+                    f"({_describe_drift(current, recorded)}"
+                    f"{'; version changed' if version_changed else ''}); "
+                    "regenerate it with: lint --update-fingerprint"
+                ),
+            )
+        )
+    return findings
+
+
+class CacheKeyChecker(Checker):
+    """Project-level C-checks against a fingerprint file."""
+
+    rules = ("C001", "C002")
+
+    def __init__(self, fingerprint_path: Optional[Path] = None) -> None:
+        self._path = (
+            Path(fingerprint_path)
+            if fingerprint_path is not None
+            else default_fingerprint_path()
+        )
+
+    def check_project(self, sources: Sequence[PythonSource]) -> List[Finding]:
+        return cache_key_findings(
+            current_fingerprint(), load_fingerprint(self._path), self._path
+        )

@@ -17,6 +17,9 @@ Five subcommands cover the common workflows:
     figure6, table4, table5, figure7) at a chosen scale.
 ``campaign``
     Run every paper experiment and print the Markdown report.
+``lint``
+    Run the house-style linter (:mod:`repro.analysis`): determinism,
+    cache-key drift, wake-contract and registry/spec checks.
 
 ``run``/``sweep``/``experiment``/``campaign`` are thin wrappers that
 build the equivalent study spec and execute it through the same path as
@@ -233,6 +236,15 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--output", default=None, metavar="FILE",
                                  help="also write the Markdown report to FILE")
     _add_exec_arguments(campaign_parser)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the house-style linter (determinism, cache-key, "
+             "wake-contract and registry/spec checks)",
+    )
+    from repro.analysis.runner import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
     return parser
 
 
@@ -453,6 +465,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_experiment(args)
     if args.command == "campaign":
         return _command_campaign(args)
+    if args.command == "lint":
+        from repro.analysis.runner import run_from_args
+
+        return run_from_args(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -12,7 +12,7 @@ be copied, varied in sweeps and embedded in results; the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields, replace
 from typing import Dict, Optional, Tuple
 
 __all__ = ["PaperDefaults", "SimulationConfig"]

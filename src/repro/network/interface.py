@@ -29,7 +29,7 @@ in :mod:`repro.network.link`.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, List, Optional, Sequence
 
 from repro.engine.kernel import no_wake
 from repro.network.link import ArrivalWheel
@@ -129,7 +129,12 @@ class NetworkInterface:
 
     def offer(self, message: Message) -> None:
         """Place a message in the source queue (used by tests and sources)."""
-        self._injection_queue.append(message)
+        # Deliberately unguarded: components start every run in the
+        # active set, so pre-run offers are always picked up, and the
+        # interface's own evaluate() offers while it is already active;
+        # mid-run offers from *outside* the schedule need an
+        # exhaustive-mode kernel (documented in next_event_cycle).
+        self._injection_queue.append(message)  # repro: allow=W001
         self._stats.record_created(message)
 
     # -- mailbox interface (called by the router) --------------------------------

@@ -14,7 +14,7 @@ For a 2-D mesh this yields the paper's five-port router: 0 = local,
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "LOCAL_PORT",

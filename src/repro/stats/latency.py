@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from dataclasses import fields as dataclasses_fields
 from typing import List, Optional
 

@@ -8,7 +8,7 @@ what the economical-storage proposal attacks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.network.topology import LOCAL_PORT, Topology
 from repro.routing.providers import PortProvider, minimal_adaptive_provider

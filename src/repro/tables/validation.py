@@ -19,12 +19,12 @@ deploying a table image:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import networkx as nx
 
 from repro.network.topology import LOCAL_PORT, Topology
-from repro.routing.providers import PortProvider, dimension_order_provider
+from repro.routing.providers import dimension_order_provider
 from repro.tables.base import RoutingTable
 
 __all__ = [

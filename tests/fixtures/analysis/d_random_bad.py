@@ -1,0 +1,11 @@
+"""Fixture: D002/D003 fire on ambient and unseedable random machinery."""
+
+import random
+from random import randrange
+
+
+def pick(items):
+    random.shuffle(items)
+    generator = random.Random()
+    system = random.SystemRandom()
+    return randrange(3), generator, system

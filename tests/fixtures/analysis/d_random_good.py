@@ -1,0 +1,10 @@
+"""Fixture: seeded generators derived from the configuration pass."""
+
+import random
+
+
+def pick(items, seed):
+    generator = random.Random(seed)
+    ordered = sorted(items)
+    generator.shuffle(ordered)
+    return ordered

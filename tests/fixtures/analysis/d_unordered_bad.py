@@ -1,0 +1,15 @@
+"""Fixture: D001 fires on order-sensitive iteration of sets.
+
+Linted with a module override that lands it inside the simulation scope;
+never imported.
+"""
+
+
+def drain(ports):
+    pending = {port for port in ports if port % 2}
+    total = 0
+    for port in pending:
+        total += port
+    ordered = list(pending)
+    extras = pending | {0}
+    return total, ordered, [p for p in extras]

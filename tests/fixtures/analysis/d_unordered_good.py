@@ -1,0 +1,13 @@
+"""Fixture: the sorted() wrap is the blessed fix for D001."""
+
+
+def drain(ports):
+    pending = {port for port in ports if port % 2}
+    total = 0
+    for port in sorted(pending):
+        total += port
+    ordered = sorted(pending)
+    extras = pending | {0}
+    if 3 in pending:  # membership tests never draw on iteration order
+        total += 3
+    return total, ordered, [p for p in sorted(extras)]

@@ -1,0 +1,8 @@
+"""Fixture: D004 fires on wall-clock reads and id() in simulation code."""
+
+import time
+
+
+def stamp(event):
+    event.created = time.time()
+    return id(event)

@@ -1,0 +1,6 @@
+"""Fixture: simulated-clock timestamps and stable sequence ids pass."""
+
+
+def stamp(event, cycle, sequence):
+    event.created = cycle
+    return sequence

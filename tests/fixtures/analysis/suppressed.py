@@ -1,0 +1,14 @@
+"""Fixture: inline suppressions silence exactly the named rules."""
+
+
+def drain(ports):
+    pending = {port for port in ports}
+    total = 0
+    # repro: allow=D001 -- commutative sum, order cannot matter
+    for port in pending:
+        total += port
+    for port in pending:  # repro: allow=D001,D004
+        total += port
+    for port in pending:  # repro: allow=D004
+        total += port
+    return total

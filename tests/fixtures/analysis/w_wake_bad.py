@@ -1,0 +1,17 @@
+"""Fixture: W001 fires when quiescence-relevant state grows unguarded.
+
+Linted with an injected contract table declaring ``_flit_lanes`` paired
+with ``_flit_pending``; ``push`` below mutates through an alias chain
+without ever touching the pending counter.
+"""
+
+
+class Lanes:
+    def __init__(self, size):
+        self._flit_lanes = [[] for _ in range(size)]
+        self._flit_pending = 0
+        self._size = size
+
+    def push(self, cycle, flit):
+        lane = self._flit_lanes[cycle % self._size]
+        lane.append(flit)

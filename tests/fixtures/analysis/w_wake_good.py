@@ -1,0 +1,19 @@
+"""Fixture: the pending-counter pairing satisfies the wake contract,
+and copies of watched state are not the watched state."""
+
+
+class Lanes:
+    def __init__(self, size):
+        self._flit_lanes = [[] for _ in range(size)]
+        self._flit_pending = 0
+        self._size = size
+
+    def push(self, cycle, flit):
+        lane = self._flit_lanes[cycle % self._size]
+        lane.append(flit)
+        self._flit_pending += 1
+
+    def snapshot(self, cycle):
+        copy = list(self._flit_lanes[cycle % self._size])
+        copy.append(None)  # a copy of a lane is not the lane
+        return copy

@@ -1,0 +1,333 @@
+"""Contract-level tests of the house-style linter.
+
+Three things live here because they exercise the *live* tree rather than
+fixtures:
+
+* the C-check workflow end to end -- a drifted cache-key surface must
+  fail (C001) until ``CACHE_FORMAT_VERSION`` is bumped, then keep
+  failing (C002) until the fingerprint is regenerated, then pass;
+* the R-checks against the real registries and builtin study specs,
+  plus deliberately broken temporary entries;
+* the tier-1 guarantee that the repository itself lints clean through
+  the same entry points CI uses, with no suppressions beyond the
+  documented ones.
+
+The hash-seed regression at the bottom pins the property the D-checks
+exist to protect: simulation results are bit-identical across
+``PYTHONHASHSEED`` values.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.analysis.cachekey import (
+    cache_key_findings,
+    current_fingerprint,
+    default_fingerprint_path,
+    load_fingerprint,
+    write_fingerprint,
+)
+from repro.analysis.registry_spec import (
+    REQUIRED_SCHEDULE_PAIRS,
+    probe_registry_entries,
+    schedule_pair_findings,
+    study_spec_findings,
+)
+from repro.analysis.runner import main, run_lint
+from repro.analysis.source import discover_sources
+from repro.registry import REGISTRIES
+from repro.scenario.spec import Study
+
+SRC_REPRO = Path(repro.__file__).resolve().parent
+REPO_ROOT = SRC_REPRO.parent.parent
+
+FINGERPRINT = Path("cache_key.fingerprint")  # name reused for tmp copies
+
+
+# -- C-checks: pure drift scenarios --------------------------------------------------
+
+
+def test_matching_fingerprint_is_clean():
+    current = current_fingerprint()
+    assert cache_key_findings(current, copy.deepcopy(current), FINGERPRINT) == []
+
+
+def test_missing_fingerprint_is_c002():
+    findings = cache_key_findings(current_fingerprint(), None, FINGERPRINT)
+    assert [f.rule for f in findings] == ["C002"]
+    assert "--update-fingerprint" in findings[0].message
+
+
+def test_surface_drift_without_version_bump_is_c001():
+    current = current_fingerprint()
+    recorded = copy.deepcopy(current)
+    recorded["config_fields"].pop("buffer_depth")
+    findings = cache_key_findings(current, recorded, FINGERPRINT)
+    assert [f.rule for f in findings] == ["C001"]
+    message = findings[0].message
+    assert "CACHE_FORMAT_VERSION" in message
+    assert "buffer_depth" in message  # the drift is described
+    # C001 anchors at the version constant, where the fix goes.
+    assert findings[0].path.endswith("cache.py")
+
+
+def test_default_change_and_provenance_change_are_both_drift():
+    current = current_fingerprint()
+    recorded = copy.deepcopy(current)
+    recorded["config_fields"]["seed"] = "999"
+    assert [
+        f.rule for f in cache_key_findings(current, recorded, FINGERPRINT)
+    ] == ["C001"]
+    recorded = copy.deepcopy(current)
+    recorded["provenance_fields"] = ["traffic"]
+    assert [
+        f.rule for f in cache_key_findings(current, recorded, FINGERPRINT)
+    ] == ["C001"]
+
+
+def test_drift_with_version_bump_downgrades_to_stale_fingerprint():
+    current = current_fingerprint()
+    recorded = copy.deepcopy(current)
+    recorded["config_fields"]["new_knob"] = "None"
+    recorded["cache_format_version"] = current["cache_format_version"] - 1
+    findings = cache_key_findings(current, recorded, FINGERPRINT)
+    assert [f.rule for f in findings] == ["C002"]
+    assert "regenerate" in findings[0].message
+
+
+def test_version_only_change_requires_regeneration():
+    current = current_fingerprint()
+    recorded = copy.deepcopy(current)
+    recorded["cache_format_version"] = current["cache_format_version"] + 1
+    assert [
+        f.rule for f in cache_key_findings(current, recorded, FINGERPRINT)
+    ] == ["C002"]
+
+
+def test_cache_key_drift_end_to_end(tmp_path, monkeypatch):
+    """The full workflow on disk: drift fails until the version is
+    bumped, keeps failing until the fingerprint is regenerated, then
+    passes -- all through ``run_lint`` with a doctored fingerprint."""
+    import repro.exec.cache as cache_module
+
+    fingerprint_path = tmp_path / "cache_key.fingerprint"
+    target = tmp_path / "empty.py"
+    target.write_text("", encoding="utf-8")
+
+    def lint():
+        return run_lint([target], fingerprint_path=fingerprint_path)
+
+    # 1. A fingerprint recorded before a (simulated) surface change:
+    #    same version, one field the current surface does not have.
+    recorded = current_fingerprint()
+    recorded["config_fields"]["retired_knob"] = "3"
+    fingerprint_path.write_text(json.dumps(recorded), encoding="utf-8")
+    report = lint()
+    assert [f.rule for f in report.findings] == ["C001"]
+    assert report.exit_code & 2
+
+    # 2. Bumping CACHE_FORMAT_VERSION clears C001 but the stale
+    #    fingerprint still fails the build until regenerated.
+    monkeypatch.setattr(
+        cache_module, "CACHE_FORMAT_VERSION", cache_module.CACHE_FORMAT_VERSION + 1
+    )
+    report = lint()
+    assert [f.rule for f in report.findings] == ["C002"]
+    assert report.exit_code & 2
+
+    # 3. Regenerating the fingerprint makes the tree clean again.
+    write_fingerprint(fingerprint_path)
+    report = lint()
+    assert report.findings == []
+    assert report.exit_code == 0
+
+
+def test_committed_fingerprint_matches_the_live_surface():
+    """Tier-1 guard: editing SimulationConfig or the provenance surface
+    without bumping CACHE_FORMAT_VERSION must fail here too."""
+    path = default_fingerprint_path()
+    assert path.exists(), "committed fingerprint is missing"
+    assert cache_key_findings(
+        current_fingerprint(), load_fingerprint(path), path
+    ) == []
+
+
+# -- R-checks ------------------------------------------------------------------------
+
+
+def test_every_builtin_registry_entry_is_constructible():
+    assert probe_registry_entries() == []
+
+
+def test_r001_fires_on_a_broken_registry_entry():
+    registry = REGISTRIES["selector"]
+
+    def broken_selector(rng):
+        raise RuntimeError("fixture: deliberately unconstructible")
+
+    registry.register("lint-broken-fixture", obj=broken_selector)
+    try:
+        findings = probe_registry_entries(kinds=["selector"])
+        assert [f.rule for f in findings] == ["R001"]
+        message = findings[0].message
+        assert "lint-broken-fixture" in message
+        assert "deliberately unconstructible" in message
+    finally:
+        registry.unregister("lint-broken-fixture")
+    assert probe_registry_entries(kinds=["selector"]) == []
+
+
+def test_r002_fires_on_unknown_study_spec_fields():
+    study = Study.from_dict(
+        {
+            "study": "fixture",
+            "base": {"normalized_load": 0.2, "bogus_knob": 1},
+            "axes": [
+                {"field": "mystery_field", "values": [1, 2]},
+                {
+                    "name": "shape",
+                    "variants": [
+                        {"name": "bad", "overrides": {"phantom": True}},
+                    ],
+                },
+            ],
+            "scenarios": [],
+        }
+    )
+    findings = study_spec_findings(study, "<fixture>")
+    named = {f.message.split("names ")[1].split(",")[0] for f in findings}
+    assert {f.rule for f in findings} == {"R002"}
+    assert named == {"'bogus_knob'", "'mystery_field'", "'phantom'"}
+
+
+def test_r002_accepts_real_config_fields():
+    study = Study.from_dict(
+        {
+            "study": "fixture",
+            "base": {"normalized_load": 0.2, "mesh_dims": [4, 4]},
+            "axes": [{"field": "vcs_per_port", "values": [2, 4]}],
+            "scenarios": [{"name": "hot", "overrides": {"traffic": "hotspot"}}],
+        }
+    )
+    assert study_spec_findings(study, "<fixture>") == []
+
+
+def test_every_schedule_mode_ships_its_pair():
+    assert schedule_pair_findings() == []
+    for kind, required in REQUIRED_SCHEDULE_PAIRS.items():
+        assert set(required) <= set(REGISTRIES[kind].names())
+
+
+def test_r003_fires_when_half_a_pair_goes_missing():
+    registry = REGISTRIES["link"]
+    entry = registry.entry("batched")
+    registry.unregister("batched")
+    try:
+        findings = schedule_pair_findings()
+        assert [f.rule for f in findings] == ["R003"]
+        assert "'link'" in findings[0].message
+        assert "'batched'" in findings[0].message
+    finally:
+        registry.register(
+            "batched", obj=entry.factory, provenance=entry.provenance
+        )
+    assert schedule_pair_findings() == []
+
+
+# -- the repository itself is lint-clean ---------------------------------------------
+
+
+def test_repository_lints_clean():
+    report = run_lint([SRC_REPRO])
+    assert report.findings == [], "\n" + report.format_text()
+    assert report.exit_code == 0
+    assert report.files_checked > 50
+
+
+def test_only_documented_suppressions_exist():
+    """Every ``# repro: allow=`` in the tree is an explicit, reviewed
+    exception; add new ones here alongside their justification."""
+    documented = {("repro.network.interface", frozenset({"W001"}))}
+    found = {
+        (source.module, frozenset(source.suppressed_rules()))
+        for source in discover_sources([SRC_REPRO])
+        if source.suppressed_rules()
+    }
+    assert found == documented
+
+
+def test_module_entry_point_reports_clean(capsys):
+    assert main([str(SRC_REPRO)]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("clean: 0 findings")
+
+
+def test_list_rules_covers_every_rule(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("D001", "D002", "D003", "D004", "C001", "C002",
+                    "W001", "R001", "R002", "R003"):
+        assert rule_id in out
+
+
+def test_json_report_artifact(tmp_path, capsys):
+    artifact = tmp_path / "lint-report.json"
+    code = main(
+        [str(SRC_REPRO), "--format", "json", "--output", str(artifact)]
+    )
+    assert code == 0
+    data = json.loads(artifact.read_text(encoding="utf-8"))
+    assert data["format"] == 1
+    assert data["exit_code"] == 0
+    assert data["findings"] == []
+    assert data["counts"] == {"D": 0, "C": 0, "W": 0, "R": 0}
+    assert json.loads(capsys.readouterr().out) == data
+
+
+def test_missing_path_is_a_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path / "absent")]) == 64
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_cli_lint_subcommand_is_wired():
+    from repro.cli import main as cli_main
+
+    assert cli_main(["lint", "--list-rules"]) == 0
+
+
+# -- the property the D-checks protect -----------------------------------------------
+
+
+def test_simulation_results_are_identical_across_hash_seeds():
+    """Bit-identical result JSON under different PYTHONHASHSEED values:
+    the regression a missed set-iteration (D001) would break."""
+    script = (
+        "import sys\n"
+        "from repro.core.config import SimulationConfig\n"
+        "from repro.exec.backend import simulate_config\n"
+        "config = SimulationConfig.tiny(\n"
+        "    measure_messages=120, warmup_messages=20, seed=11\n"
+        ")\n"
+        "sys.stdout.write(simulate_config(config).to_json())\n"
+    )
+    outputs = []
+    for hash_seed in ("0", "31337"):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_REPRO.parent)
+        env["PYTHONHASHSEED"] = hash_seed
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        assert completed.returncode == 0, completed.stderr
+        outputs.append(completed.stdout)
+    assert outputs[0] == outputs[1]
+    assert json.loads(outputs[0])  # non-empty, well-formed result

@@ -1,6 +1,5 @@
 """Every legacy entry point warns once and points at its Study equivalent."""
 
-import warnings
 
 import pytest
 

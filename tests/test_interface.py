@@ -6,9 +6,7 @@ from repro.network.interface import NetworkInterface
 from repro.network.topology import LOCAL_PORT, MeshTopology
 from repro.router.config import RouterConfig
 from repro.router.pipeline import LA_PROUD
-from repro.router.router import Router
 from repro.routing.duato import DuatoFullyAdaptiveRouting
-from repro.selection.heuristics import StaticDimensionOrderSelector
 from repro.stats.collector import StatsCollector
 from repro.tables.economical import EconomicalStorageTable
 from repro.traffic.message import Message

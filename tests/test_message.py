@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.traffic.message import Flit, FlitType, Message
+from repro.traffic.message import FlitType, Message
 
 
 def make_message(length=4):

@@ -7,7 +7,6 @@ allocation, credit-based flow control and look-ahead header generation.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.network.topology import LOCAL_PORT, MeshTopology, port_for
 from repro.router.channels import VCState
