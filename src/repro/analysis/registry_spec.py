@@ -99,6 +99,21 @@ def _probes() -> Dict[str, Callable[[object, str], None]]:
         if not callable(factory):
             raise TypeError(f"registered object {factory!r} is not callable")
 
+    def _probe_workload(factory, name):
+        from repro.workload import WorkloadDag, example_trace_path
+
+        config = SimulationConfig(
+            mesh_dims=(4, 4),
+            workload=name,
+            workload_trace=str(example_trace_path()),
+        )
+        dag = factory(config, topology)
+        if not isinstance(dag, WorkloadDag):
+            raise TypeError(
+                f"workload factory returned {type(dag).__name__}, "
+                "expected WorkloadDag"
+            )
+
     return {
         "topology": _probe_topology,
         "table": lambda factory, name: factory(topology, base),
@@ -113,6 +128,7 @@ def _probes() -> Dict[str, Callable[[object, str], None]]:
         "reporter": _expect_callable,
         "analytic": _expect_callable,
         "study": _probe_study,
+        "workload": _probe_workload,
     }
 
 

@@ -89,6 +89,12 @@ WAKE_CONTRACTS: Dict[str, Dict[str, GuardGroups]] = {
         "slots": (("earliest_pending",), ("_wake", "_kernel_active")),
         "far": (("earliest_pending",), ("_wake", "_kernel_active")),
     },
+    "repro.workload.engine": {
+        # Released DAG steps land in per-node pending lists the sources'
+        # next_due_cycle forecasts read; every insort must re-arm the
+        # home node's interface through the attached wake callback.
+        "_pending": (("_wake_home",),),
+    },
 }
 
 

@@ -143,9 +143,9 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="link-transport schedule: per-link arrival lanes "
                              "(default) or the per-flit mailbox reference")
     parser.add_argument("--core-mode", choices=("objects", "flat"),
-                        default="objects", dest="core_mode",
-                        help="core schedule: per-component object network "
-                             "(default) or the flat struct-of-arrays core")
+                        default="flat", dest="core_mode",
+                        help="core schedule: flat struct-of-arrays core "
+                             "(default) or the per-component object network")
     parser.add_argument("--messages", type=int, default=1200,
                         help="measured messages per data point")
     parser.add_argument("--warmup", type=int, default=150,

@@ -77,11 +77,12 @@ class SimulationConfig:
     #: specification).  Both schedules are bit-identical; see
     #: :mod:`repro.network.link`.
     link_mode: str = "batched"
-    #: Core schedule: ``"objects"`` (the per-component router/interface
-    #: network, the default) or ``"flat"`` (the whole network lowered
-    #: into one flat struct-of-arrays kernel component).  Both schedules
-    #: are bit-identical; see :mod:`repro.network.flatcore`.
-    core_mode: str = "objects"
+    #: Core schedule: ``"flat"`` (the whole network lowered into one
+    #: flat struct-of-arrays kernel component, the default) or
+    #: ``"objects"`` (the per-component router/interface network kept as
+    #: the executable specification).  Both schedules are bit-identical;
+    #: see :mod:`repro.network.flatcore`.
+    core_mode: str = "flat"
 
     # -- routing -----------------------------------------------------------------------
     #: ``"duato"``, ``"dimension-order"``, ``"north-last"``, ``"west-first"`` or
@@ -106,6 +107,33 @@ class SimulationConfig:
     #: Injection process: ``"exponential"`` (paper) or ``"bernoulli"``.
     injection: str = "exponential"
 
+    # -- closed-loop workload ---------------------------------------------------------
+    #: Closed-loop workload name (registry kind ``"workload"``:
+    #: ``"request-reply"``, ``"allreduce"``, ``"alltoall"``,
+    #: ``"llm-decode"``, ``"trace"``) or None for the open-loop
+    #: stochastic traffic above.  When set, the ``traffic``/
+    #: ``normalized_load``/``injection``/measurement-window fields are
+    #: ignored: the run injects exactly the workload DAG's transfers and
+    #: ends when it drains (see :mod:`repro.workload`).
+    workload: Optional[str] = None
+    #: Iterations (request chains, collective repetitions) per workload.
+    workload_iters: int = 4
+    #: Outstanding request/reply exchanges allowed per client
+    #: (``request-reply`` only).
+    workload_window: int = 2
+    #: Model layers (``llm-decode`` only).
+    workload_layers: int = 2
+    #: Hidden dimension in flits: collective transfers carry
+    #: ``max(1, workload_hidden // group)`` flits each.
+    workload_hidden: int = 64
+    #: Collective group / tensor-parallel degree in nodes (0 = every
+    #: node; ``llm-decode`` defaults 0 to ``min(4, num_nodes)``).
+    workload_group: int = 0
+    #: Compute delay in cycles per model-layer step (``llm-decode``).
+    workload_compute: int = 4
+    #: JSON DAG file replayed by the ``trace`` workload.
+    workload_trace: str = ""
+
     # -- measurement -----------------------------------------------------------------------
     #: Messages injected before statistics collection starts.
     warmup_messages: int = 200
@@ -129,6 +157,18 @@ class SimulationConfig:
             raise ValueError("messages are at least one flit long")
         if self.warmup_messages < 0 or self.measure_messages < 1:
             raise ValueError("invalid measurement window")
+        if self.workload_iters < 1:
+            raise ValueError("workload_iters must be at least 1")
+        if self.workload_window < 1:
+            raise ValueError("workload_window must be at least 1")
+        if self.workload_layers < 1:
+            raise ValueError("workload_layers must be at least 1")
+        if self.workload_hidden < 1:
+            raise ValueError("workload_hidden must be at least 1 flit")
+        if self.workload_group < 0:
+            raise ValueError("workload_group cannot be negative (0 = all nodes)")
+        if self.workload_compute < 0:
+            raise ValueError("workload_compute cannot be negative")
         self.validate()
 
     def validate(self) -> None:

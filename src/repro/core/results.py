@@ -36,6 +36,11 @@ class SimulationResult:
     #: rate (the simulator warns when that happens).  0.0 in results
     #: recorded before this field existed.
     effective_message_rate: float = 0.0
+    #: Drain metrics of a closed-loop workload run (see
+    #: :meth:`repro.workload.engine.WorkloadEngine.drain_metrics`), or
+    #: None for open-loop runs and results recorded before this field
+    #: existed.
+    drain: Optional[Dict[str, object]] = None
 
     @property
     def saturated(self) -> bool:
@@ -67,6 +72,7 @@ class SimulationResult:
             "zero_load_latency": self.zero_load_latency,
             "cycles": self.cycles,
             "effective_message_rate": self.effective_message_rate,
+            "drain": self.drain,
         }
 
     @classmethod
@@ -78,6 +84,7 @@ class SimulationResult:
             zero_load_latency=float(data["zero_load_latency"]),
             cycles=int(data["cycles"]),
             effective_message_rate=float(data.get("effective_message_rate", 0.0)),
+            drain=data.get("drain"),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

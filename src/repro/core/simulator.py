@@ -30,6 +30,7 @@ from repro.tables.base import RoutingTable
 from repro.traffic.generator import TrafficGenerator
 from repro.traffic.injection import InjectionProcess, message_rate_for_load
 from repro.traffic.patterns import make_pattern
+from repro.workload.engine import WorkloadEngine
 
 __all__ = ["NetworkSimulator", "build_table", "build_routing", "build_topology"]
 
@@ -113,32 +114,66 @@ class NetworkSimulator:
             switch_mode=config.switch_mode,
             link_mode=config.link_mode,
         )
-        message_rate = message_rate_for_load(
-            self._topology, config.message_length, config.normalized_load
-        )
-        pattern = make_pattern(config.traffic, self._topology)
-        process = _build_injection(config, message_rate)
-        self._generator = TrafficGenerator(
-            topology=self._topology,
-            pattern=pattern,
-            process=process,
-            message_length=config.message_length,
-            rng=self._rng,
-            max_messages=config.total_messages,
-        )
-        self._stats = StatsCollector(
-            warmup_messages=config.warmup_messages,
-            measure_messages=config.measure_messages,
-            num_nodes=self._topology.num_nodes,
-            keep_samples=config.keep_samples,
-        )
+        if config.workload is not None:
+            # Closed-loop run: the workload DAG replaces the stochastic
+            # generator.  Every transfer is "measured" (warmup 0), so the
+            # existing all-delivered stop condition ends the run exactly
+            # when the DAG drains; the traffic self-throttles, so there
+            # is no offered rate and no saturation flagging.
+            workload_factory = registry.WORKLOADS.get(config.workload)
+            dag = workload_factory(config, self._topology)
+            self._workload = WorkloadEngine(dag, self._topology.num_nodes)
+            self._generator = None
+            sources = self._workload.sources()
+            self._stats = StatsCollector(
+                warmup_messages=0,
+                measure_messages=dag.num_transfers if dag.num_transfers else None,
+                num_nodes=self._topology.num_nodes,
+                keep_samples=config.keep_samples,
+            )
+            self._stats.add_delivery_callback(self._workload.on_delivered)
+            self._message_rate = 0.0
+            hop = self._router_config.pipeline.hop_latency(config.link_delay)
+            self._critical_path = dag.critical_path_cycles(
+                lambda step: (self._topology.distance(step.src, step.dst) + 1) * hop
+                + (step.flits - 1)
+            )
+            self._workload_flits = dag.total_flits
+        else:
+            self._workload = None
+            self._critical_path = 0
+            self._workload_flits = 0
+            message_rate = message_rate_for_load(
+                self._topology, config.message_length, config.normalized_load
+            )
+            pattern = make_pattern(config.traffic, self._topology)
+            process = _build_injection(config, message_rate)
+            self._generator = TrafficGenerator(
+                topology=self._topology,
+                pattern=pattern,
+                process=process,
+                message_length=config.message_length,
+                rng=self._rng,
+                max_messages=config.total_messages,
+            )
+            sources = self._generator.sources()
+            self._stats = StatsCollector(
+                warmup_messages=config.warmup_messages,
+                measure_messages=config.measure_messages,
+                num_nodes=self._topology.num_nodes,
+                keep_samples=config.keep_samples,
+            )
+            # The rate the injection process actually offers (Bernoulli
+            # clamps super-unit rates); used for the cycle budget and the
+            # result.
+            self._message_rate = process.rate
         self._network = Network(
             topology=self._topology,
             router_config=self._router_config,
             routing=self._routing,
             selector_factory=self._make_selector,
             stats=self._stats,
-            sources=self._generator.sources(),
+            sources=sources,
         )
         self._kernel = SimulationKernel(mode=kernel_mode)
         core_schedule = core_schedule_by_name(config.core_mode)
@@ -148,10 +183,29 @@ class NetworkSimulator:
         else:
             self._core = None
             self._kernel.register_all(self._network.components())
-        self._kernel.add_stop_condition(lambda cycle: self._stats.all_measured_delivered())
-        # The rate the injection process actually offers (Bernoulli clamps
-        # super-unit rates); used for the cycle budget and the result.
-        self._message_rate = process.rate
+        if self._workload is not None:
+            # Released DAG steps must re-arm their home node's interface
+            # in whichever core executes the network.
+            if self._core is not None:
+                core = self._core
+                self._workload.attach_wakes(
+                    [
+                        (lambda cycle, node=node: core.wake_interface(node, cycle))
+                        for node in range(self._topology.num_nodes)
+                    ]
+                )
+            else:
+                self._workload.attach_wakes(
+                    [interface.wake_source for interface in self._network.interfaces]
+                )
+        if self._workload is not None:
+            # Stop when the whole DAG drains (trailing compute steps may
+            # finish after the last transfer is delivered).
+            self._kernel.add_stop_condition(lambda cycle: self._workload.drained)
+        else:
+            self._kernel.add_stop_condition(
+                lambda cycle: self._stats.all_measured_delivered()
+            )
 
     def _make_selector(self, node: int):
         return make_selector(self._config.selector, self._rng.stream(f"selector-{node}"))
@@ -173,6 +227,12 @@ class NetworkSimulator:
         """The flat core when ``core_mode == "flat"``, else None (the
         object components are reachable through :attr:`network`)."""
         return self._core
+
+    @property
+    def workload(self) -> Optional[WorkloadEngine]:
+        """The closed-loop workload engine when ``config.workload`` is
+        set, else None (open-loop stochastic traffic)."""
+        return self._workload
 
     @property
     def topology(self) -> Topology:
@@ -210,7 +270,19 @@ class NetworkSimulator:
         return (average_distance + 1.0) * hop + (self._config.message_length - 1)
 
     def default_max_cycles(self) -> int:
-        """Cycle budget derived from the offered load and drain factor."""
+        """Cycle budget derived from the offered load and drain factor.
+
+        Closed-loop workload runs have no offered rate; their budget is
+        derived from the DAG's contention-free critical path plus the
+        total flit volume (a crude upper bound on serialization delay
+        under contention), scaled by the drain factor.
+        """
+        if self._workload is not None:
+            budget = (self._critical_path + self._workload_flits) * (
+                self._config.drain_factor
+            )
+            budget += 20 * self.zero_load_latency() + 2_000
+            return int(budget)
         total_rate = self._message_rate * self._topology.num_nodes
         if total_rate <= 0:
             return 10_000
@@ -233,15 +305,23 @@ class NetworkSimulator:
         self._kernel.run(max_cycles)
         cycles = self._kernel.clock.now
         zero_load = self.zero_load_latency()
-        preliminary = self._stats.summary(cycles)
-        saturated = is_saturated(preliminary, zero_load, SaturationPolicy())
-        summary = self._stats.summary(cycles, saturated=saturated)
+        if self._workload is not None:
+            # Closed-loop traffic self-throttles: the saturation heuristic
+            # is meaningless, and the result carries drain metrics instead.
+            summary = self._stats.summary(cycles, saturated=False)
+            drain = self._workload.drain_metrics(cycles, self._critical_path)
+        else:
+            preliminary = self._stats.summary(cycles)
+            saturated = is_saturated(preliminary, zero_load, SaturationPolicy())
+            summary = self._stats.summary(cycles, saturated=saturated)
+            drain = None
         return SimulationResult(
             config=self._config,
             summary=summary,
             zero_load_latency=zero_load,
             cycles=cycles,
             effective_message_rate=self._message_rate,
+            drain=drain,
         )
 
     def __repr__(self) -> str:

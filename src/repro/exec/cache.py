@@ -51,7 +51,13 @@ __all__ = [
 #: per-component object network vs the flat struct-of-arrays core) and
 #: its schedule provenance joins the component map, so entries written
 #: before the flat core existed are never served as current.
-CACHE_FORMAT_VERSION = 6
+#: Version 7: configurations grew the closed-loop workload fields
+#: (``workload`` plus its parameters), results grew the ``drain``
+#: metrics block, ``core_mode`` now defaults to ``"flat"`` and
+#: None-valued optional component fields are omitted from the
+#: provenance map, so every pre-workload entry hashes to a different
+#: slot and is never served as current.
+CACHE_FORMAT_VERSION = 7
 
 #: ``*.tmp`` files younger than this many seconds are presumed to belong
 #: to a live concurrent writer and are left alone by :meth:`ResultCache.clear`.

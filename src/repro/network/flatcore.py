@@ -801,6 +801,20 @@ class FlatNetworkCore:
         every event is internal to the core, so it is never invoked)."""
         self._wake = callback
 
+    def wake_interface(self, node: int, cycle: int) -> None:
+        """Re-arm one interface's wake cycle for a source event at ``cycle``.
+
+        The flat-core counterpart of ``NetworkInterface.wake_source``:
+        closed-loop sources (:mod:`repro.workload`) queue new work at a
+        node from outside its own evaluation, so they lower the node's
+        scheduler wake here.  Safe against the end-of-evaluate recompute
+        in ``_evaluate_interface`` because the source's ``next_due_cycle``
+        forecast covers the same pending entry; released work is always
+        strictly future, matching the kernel's wake contract.
+        """
+        if cycle < self._ni_wake[node]:
+            self._ni_wake[node] = cycle
+
     def next_event_cycle(self, cycle: int) -> Optional[int]:
         """Earliest cycle (``>= cycle``) at which anything has work.
 

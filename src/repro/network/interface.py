@@ -345,6 +345,20 @@ class NetworkInterface:
         self._kernel_active = flags
         self._kernel_index = index
 
+    def wake_source(self, cycle: int) -> None:
+        """Wake this interface for a source event scheduled at ``cycle``.
+
+        Closed-loop sources (:mod:`repro.workload`) queue new work from
+        *outside* the interface's own evaluation -- a delivery elsewhere
+        releases a DAG successor here -- so they call this to re-arm an
+        interface the activity kernel may have put to sleep on a ``None``
+        forecast.  The released work is always strictly future
+        (``cycle`` is after the current one), matching the kernel's
+        wake contract.
+        """
+        if not self._kernel_active[self._kernel_index]:
+            self._wake(cycle)
+
     def next_event_cycle(self, cycle: int) -> Optional[int]:
         """Earliest cycle (``>= cycle``) at which this interface has work.
 

@@ -1,10 +1,10 @@
 """Named, introspectable plugin registries for every pluggable component.
 
-The simulator is assembled from ten kinds of interchangeable parts --
+The simulator is assembled from eleven kinds of interchangeable parts --
 topologies, routing algorithms, routing-table organisations,
 path-selection heuristics, traffic patterns, injection processes, router
-pipelines, switch-allocation schedules, link-transport schedules and
-core schedules -- plus the scenario layer's
+pipelines, switch-allocation schedules, link-transport schedules, core
+schedules and closed-loop workloads -- plus the scenario layer's
 reporters, analytic experiments and built-in studies.  Each kind has a :class:`Registry`
 mapping report names (the strings stored in
 :class:`~repro.core.config.SimulationConfig`) to factories, so user code
@@ -33,6 +33,7 @@ Factory signatures by kind (what the simulator calls for each entry):
 ``switch``     a :class:`~repro.router.switch.SwitchSchedule` instance
 ``link``       a :class:`~repro.network.link.LinkSchedule` instance
 ``core``       a :class:`~repro.network.flatcore.CoreSchedule` instance
+``workload``   ``factory(config, topology) -> WorkloadDag``
 ``reporter``   ``reporter(study, points, results, **options) -> rows``
 ``analytic``   ``analytic(**options) -> rows``
 ``study``      ``builder() -> Study`` (default-parameter built-in study)
@@ -71,6 +72,7 @@ __all__ = [
     "SWITCH_MODES",
     "TOPOLOGIES",
     "TRAFFIC_PATTERNS",
+    "WORKLOADS",
     "describe_registries",
     "load_plugin",
     "register",
@@ -263,6 +265,7 @@ PIPELINES = Registry("router pipeline", ["repro.router.pipeline"])
 SWITCH_MODES = Registry("switch-allocation schedule", ["repro.router.switch"])
 LINK_MODES = Registry("link-transport schedule", ["repro.network.link"])
 CORE_MODES = Registry("core schedule", ["repro.network.flatcore"])
+WORKLOADS = Registry("closed-loop workload", ["repro.workload.builtin"])
 REPORTERS = Registry("study reporter", ["repro.scenario.reporters"])
 ANALYTICS = Registry(
     "analytic experiment",
@@ -282,6 +285,7 @@ REGISTRIES: Dict[str, Registry] = {
     "switch": SWITCH_MODES,
     "link": LINK_MODES,
     "core": CORE_MODES,
+    "workload": WORKLOADS,
     "reporter": REPORTERS,
     "analytic": ANALYTICS,
     "study": STUDIES,
@@ -324,6 +328,9 @@ CONFIG_FIELD_KINDS: Dict[str, str] = {
     "link_mode": "link",
     "core_mode": "core",
     "injection": "injection",
+    # Optional: None selects open-loop traffic and is skipped by the
+    # validation/provenance walks below.
+    "workload": "workload",
 }
 
 
@@ -342,6 +349,8 @@ def validate_config_names(config) -> None:
     for field, kind in CONFIG_FIELD_KINDS.items():
         registry = REGISTRIES[kind]
         value = getattr(config, field)
+        if value is None:
+            continue
         if value not in registry:
             raise ValueError(
                 f"SimulationConfig.{field}: unknown {registry.kind} {value!r}; "
@@ -365,6 +374,7 @@ def config_component_provenance(config) -> Dict[str, Optional[str]]:
     provenance: Dict[str, Optional[str]] = {
         field: REGISTRIES[kind].provenance(getattr(config, field))
         for field, kind in CONFIG_FIELD_KINDS.items()
+        if getattr(config, field) is not None
     }
     provenance["topology"] = TOPOLOGIES.provenance(topology_name(config))
     return provenance

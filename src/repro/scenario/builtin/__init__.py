@@ -40,6 +40,8 @@ __all__ = [
     "spec_path",
     "sweep_study",
     "table_storage_study",
+    "workload_allreduce_study",
+    "workload_llm_decode_study",
 ]
 
 #: Directory holding the shipped JSON instances of the built-in studies.
@@ -276,6 +278,76 @@ def es_programming_study(
     )
 
 
+# -- closed-loop workload studies -------------------------------------------------
+
+
+def workload_allreduce_study(
+    base_config: Optional[SimulationConfig] = None,
+    mesh_sizes: Sequence[Tuple[int, int]] = ((4, 4), (8, 8)),
+    iters: int = 2,
+    name: str = "workload_allreduce",
+) -> Study:
+    """Time-to-drain of a ring all-reduce across mesh sizes.
+
+    Every node joins one all-network ring (``workload_group=0``); the
+    drain reporter's critical-path-utilization column shows how much of
+    the drain time is contention versus the DAG's inherent serial chain.
+    """
+    return Study(
+        name=name,
+        title="Closed-loop ring all-reduce - time to drain versus mesh size",
+        base=_base_dict(
+            base_config, workload="allreduce", workload_iters=iters, workload_group=0
+        ),
+        axes=(
+            # List-valued (not tuple) so the study equals its JSON
+            # round-trip, like every shipped mesh sweep.
+            Axis(
+                field="mesh_dims",
+                values=tuple(list(m) for m in mesh_sizes),
+                label="mesh",
+            ),
+        ),
+        report=Report(reporter="drain"),
+    )
+
+
+def workload_llm_decode_study(
+    base_config: Optional[SimulationConfig] = None,
+    mesh_sizes: Sequence[Tuple[int, int]] = ((4, 4),),
+    tp_degrees: Sequence[int] = (2, 4),
+    layers: int = 2,
+    hidden: int = 64,
+    name: str = "workload_llm_decode",
+) -> Study:
+    """Time-to-drain of tensor-parallel LLM decode across TP degrees.
+
+    Sweeps the tensor-parallel group size (``workload_group``) and the
+    mesh size; each decode layer is a per-member compute step, a ring
+    all-reduce inside the group and an activation hand-off to the next
+    group.
+    """
+    return Study(
+        name=name,
+        title="Closed-loop LLM decode - time to drain versus TP degree",
+        base=_base_dict(
+            base_config,
+            workload="llm-decode",
+            workload_layers=layers,
+            workload_hidden=hidden,
+        ),
+        axes=(
+            Axis(
+                field="mesh_dims",
+                values=tuple(list(m) for m in mesh_sizes),
+                label="mesh",
+            ),
+            Axis(field="workload_group", values=tuple(tp_degrees), label="tp"),
+        ),
+        report=Report(reporter="drain"),
+    )
+
+
 # -- the full campaign ------------------------------------------------------------
 
 
@@ -401,3 +473,17 @@ def _builtin_figure7() -> Study:
 def _builtin_campaign() -> Study:
     """Tiny-scale full campaign suite."""
     return campaign_study(SimulationConfig.tiny())
+
+
+@register("study", "workload_allreduce")
+def _builtin_workload_allreduce() -> Study:
+    """Tiny-scale ring all-reduce drain study."""
+    return workload_allreduce_study(
+        SimulationConfig.tiny(), mesh_sizes=((2, 2), (4, 4))
+    )
+
+
+@register("study", "workload_llm_decode")
+def _builtin_workload_llm_decode() -> Study:
+    """Tiny-scale tensor-parallel LLM-decode drain study."""
+    return workload_llm_decode_study(SimulationConfig.tiny())

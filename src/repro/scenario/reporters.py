@@ -23,6 +23,7 @@ from repro.registry import register
 from repro.scenario.spec import Study, StudyPoint
 
 __all__ = [
+    "drain_reporter",
     "grouped_by_value_coords",
     "paired_improvement_reporter",
     "reference_relative_reporter",
@@ -87,6 +88,34 @@ def sweep_reporter(
         }
         for point, result in zip(points, results)
     ]
+
+
+@register("reporter", "drain")
+def drain_reporter(
+    study: Study, points: Sequence[StudyPoint], results: Sequence[SimulationResult]
+) -> List[Dict[str, object]]:
+    """One time-to-drain row per closed-loop workload point.
+
+    Each row carries the point's axis coordinates plus the drain block
+    of the result: whether the DAG drained inside the cycle budget, the
+    cycle its last step completed, the analytic contention-free critical
+    path and their ratio (critical-path utilization -- 1.0 means the
+    network added no contention delay at all).
+    """
+    rows: List[Dict[str, object]] = []
+    for point, result in zip(points, results):
+        drain = result.drain or {}
+        row: Dict[str, object] = {
+            coord.label: coord.value for coord in point.coords
+        }
+        row["drained"] = bool(drain.get("drained", False))
+        row["time_to_drain"] = drain.get("time_to_drain", result.cycles)
+        row["critical_path"] = drain.get("critical_path_cycles", 0)
+        row["cp_utilization"] = drain.get("critical_path_utilization", 0.0)
+        row["transfers"] = drain.get("transfers", 0)
+        row["avg_latency"] = result.latency
+        rows.append(row)
+    return rows
 
 
 @register("reporter", "variant-grid")

@@ -8,7 +8,7 @@ before the 400,000 measured ones).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.stats.latency import LatencySummary, RunningStats
 
@@ -44,8 +44,26 @@ class StatsCollector:
         self._hops = RunningStats()
         self._first_measured_delivery: Optional[int] = None
         self._last_delivery_cycle = 0
+        #: Observers of every tail-flit ejection (closed-loop workload
+        #: engines release DAG successors from here).  The collector is
+        #: the single delivery point shared by the object interfaces and
+        #: the flat core, so hooking here guarantees both cores fire the
+        #: same callbacks at the same cycles in the same order.
+        self._delivery_callbacks: List[Callable[["Message", int], None]] = []
 
     # -- recording ---------------------------------------------------------------
+
+    def add_delivery_callback(
+        self, callback: Callable[["Message", int], None]
+    ) -> None:
+        """Invoke ``callback(message, cycle)`` on every delivered tail flit.
+
+        Callbacks see every delivery (warm-up included) and run after the
+        collector's own streaming accounting; they must not retain the
+        message (the collector itself keeps no per-message state after
+        delivery, and observers are expected to match).
+        """
+        self._delivery_callbacks.append(callback)
 
     def record_created(self, message: "Message") -> None:
         """Register a newly generated message (assigns its creation index)."""
@@ -64,20 +82,24 @@ class StatsCollector:
         # delivered at most once, and keeping one dict entry per created
         # message would grow memory without bound on long runs.
         index = self._order.pop(message.message_id, None)
-        if index is None or index < self._warmup:
-            return
-        if (
-            self._measure_target is not None
-            and index >= self._warmup + self._measure_target
-        ):
-            return
-        self._measured_delivered += 1
-        self._measured_flits += message.length
-        self._total_latency.add(message.total_latency)
-        self._network_latency.add(message.network_latency)
-        self._hops.add(message.hops)
-        if self._first_measured_delivery is None:
-            self._first_measured_delivery = cycle
+        measured = (
+            index is not None
+            and index >= self._warmup
+            and (
+                self._measure_target is None
+                or index < self._warmup + self._measure_target
+            )
+        )
+        if measured:
+            self._measured_delivered += 1
+            self._measured_flits += message.length
+            self._total_latency.add(message.total_latency)
+            self._network_latency.add(message.network_latency)
+            self._hops.add(message.hops)
+            if self._first_measured_delivery is None:
+                self._first_measured_delivery = cycle
+        for callback in self._delivery_callbacks:
+            callback(message, cycle)
 
     # -- progress queries -----------------------------------------------------------
 

@@ -1,0 +1,31 @@
+"""Closed-loop, dependency-driven workloads (registry kind ``"workload"``).
+
+Where :mod:`repro.traffic` generates open-loop stochastic traffic, this
+package executes a happens-before DAG of transfers and compute steps
+over the network: a step injects only after its predecessors complete,
+so the traffic self-throttles the way production accelerator fabrics do
+(request-reply protocols, collectives, tensor-parallel model decode).
+The primary result of a closed-loop run is the *time to drain* the DAG,
+reported through ``SimulationResult.drain``.
+
+See :mod:`repro.workload.dag` for the program model,
+:mod:`repro.workload.engine` for the execution engine and its
+determinism/quiescence contracts, and :mod:`repro.workload.builtin` for
+the shipped generators (``request-reply``, ``allreduce``, ``alltoall``,
+``llm-decode``, ``trace``).
+"""
+
+from repro.workload.builtin import TraceWorkload, example_trace_path
+from repro.workload.dag import COMPUTE, TRANSFER, WorkloadDag, WorkloadNode
+from repro.workload.engine import WorkloadEngine, WorkloadSource
+
+__all__ = [
+    "COMPUTE",
+    "TRANSFER",
+    "TraceWorkload",
+    "WorkloadDag",
+    "WorkloadEngine",
+    "WorkloadNode",
+    "WorkloadSource",
+    "example_trace_path",
+]

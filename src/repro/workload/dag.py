@@ -1,0 +1,335 @@
+"""Dependency-DAG model for closed-loop workloads.
+
+A :class:`WorkloadDag` is the plain-data program a closed-loop workload
+executes on the network: each node is either a *transfer* (a message of
+``flits`` flits from ``src`` to ``dst``) or a *compute* step (a fixed
+``delay`` in cycles at one node), and each edge is a happens-before
+constraint.  A node becomes *ready* only after every predecessor has
+completed -- a transfer completes when its tail flit is ejected at the
+destination, a compute step when its delay elapses -- and barriers are
+ordinary fan-in nodes (a zero-delay compute step depending on a whole
+phase).
+
+The DAG is validated eagerly: malformed node records, out-of-range edge
+endpoints and cycles all raise ``ValueError`` with a message naming the
+offending entry, so a bad trace file surfaces as a clean configuration
+error rather than a deep traceback.  :meth:`WorkloadDag.from_trace_dict`
+parses the JSON edge-list format replayed by the ``trace`` workload (see
+:mod:`repro.workload.builtin`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["COMPUTE", "TRANSFER", "WorkloadDag", "WorkloadNode"]
+
+#: Node kinds.
+TRANSFER = "transfer"
+COMPUTE = "compute"
+
+
+@dataclass(frozen=True)
+class WorkloadNode:
+    """One step of a workload DAG.
+
+    Transfers carry ``flits`` flits from ``src`` to ``dst``; compute
+    steps occupy their home node (``src == dst``) for ``delay`` cycles
+    without touching the network.  ``phase`` groups nodes for the
+    per-phase completion metrics (iterations, collective steps, model
+    layers -- whatever the generator sweeps).
+    """
+
+    kind: str
+    src: int
+    dst: int
+    flits: int = 0
+    delay: int = 0
+    phase: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (TRANSFER, COMPUTE):
+            raise ValueError(
+                f"workload node kind must be {TRANSFER!r} or {COMPUTE!r}, "
+                f"got {self.kind!r}"
+            )
+        if self.src < 0 or self.dst < 0:
+            raise ValueError("workload node endpoints must be non-negative node ids")
+        if self.phase < 0:
+            raise ValueError("workload node phase must be non-negative")
+        if self.kind == TRANSFER:
+            if self.src == self.dst:
+                raise ValueError(
+                    f"transfer {self.src}->{self.dst} sends to itself; "
+                    "self-transfers never cross the network and would deadlock "
+                    "the workload"
+                )
+            if self.flits < 1:
+                raise ValueError(
+                    f"transfer {self.src}->{self.dst} must carry at least one "
+                    f"flit, got {self.flits}"
+                )
+            if self.delay != 0:
+                raise ValueError("transfers carry no compute delay")
+        else:
+            if self.src != self.dst:
+                raise ValueError(
+                    "compute steps occupy one home node (src == dst), got "
+                    f"{self.src} != {self.dst}"
+                )
+            if self.delay < 0:
+                raise ValueError(f"compute delay must be >= 0, got {self.delay}")
+            if self.flits != 0:
+                raise ValueError("compute steps carry no flits")
+
+    @property
+    def home(self) -> int:
+        """The node this step occupies (source for transfers)."""
+        return self.src
+
+
+class WorkloadDag:
+    """A validated happens-before DAG of transfers and compute steps."""
+
+    def __init__(
+        self,
+        nodes: Sequence[WorkloadNode],
+        edges: Sequence[Tuple[int, int]] = (),
+    ) -> None:
+        if not nodes:
+            raise ValueError("a workload DAG needs at least one node")
+        self._nodes: Tuple[WorkloadNode, ...] = tuple(nodes)
+        count = len(self._nodes)
+        successors: List[List[int]] = [[] for _ in range(count)]
+        indegree = [0] * count
+        seen = set()
+        for position, edge in enumerate(edges):
+            try:
+                pred, succ = edge
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"workload DAG edge #{position} must be a [pred, succ] "
+                    f"pair, got {edge!r}"
+                ) from None
+            if not isinstance(pred, int) or not isinstance(succ, int):
+                raise ValueError(
+                    f"workload DAG edge #{position} must hold integer node "
+                    f"indices, got {edge!r}"
+                )
+            if not (0 <= pred < count and 0 <= succ < count):
+                raise ValueError(
+                    f"workload DAG edge #{position} ({pred} -> {succ}) points "
+                    f"outside the {count}-node DAG"
+                )
+            if pred == succ:
+                raise ValueError(
+                    f"workload DAG edge #{position} is a self-loop on node {pred}"
+                )
+            if (pred, succ) in seen:
+                continue
+            seen.add((pred, succ))
+            successors[pred].append(succ)
+            indegree[succ] += 1
+        self._successors: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(out)) for out in successors
+        )
+        self._indegree: Tuple[int, ...] = tuple(indegree)
+        self._check_acyclic()
+        self._phase_count = max(node.phase for node in self._nodes) + 1
+
+    def _check_acyclic(self) -> None:
+        remaining = list(self._indegree)
+        frontier = [idx for idx, degree in enumerate(remaining) if degree == 0]
+        visited = 0
+        while frontier:
+            idx = frontier.pop()
+            visited += 1
+            for succ in self._successors[idx]:
+                remaining[succ] -= 1
+                if remaining[succ] == 0:
+                    frontier.append(succ)
+        if visited != len(self._nodes):
+            stuck = sorted(idx for idx, degree in enumerate(remaining) if degree > 0)
+            raise ValueError(
+                f"workload DAG has a dependency cycle through nodes {stuck}; "
+                "every workload must be able to drain"
+            )
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[WorkloadNode, ...]:
+        """Every step, indexed by DAG position."""
+        return self._nodes
+
+    @property
+    def successors(self) -> Tuple[Tuple[int, ...], ...]:
+        """Outgoing happens-before edges per node index."""
+        return self._successors
+
+    @property
+    def indegree(self) -> Tuple[int, ...]:
+        """Incoming edge count per node index (0 = root, ready at cycle 0)."""
+        return self._indegree
+
+    @property
+    def phase_count(self) -> int:
+        """Number of phases (``max(node.phase) + 1``)."""
+        return self._phase_count
+
+    @property
+    def num_transfers(self) -> int:
+        """How many nodes are network transfers (messages injected)."""
+        return sum(1 for node in self._nodes if node.kind == TRANSFER)
+
+    @property
+    def total_flits(self) -> int:
+        """Total flits carried by every transfer."""
+        return sum(node.flits for node in self._nodes if node.kind == TRANSFER)
+
+    def phase_node_counts(self) -> List[int]:
+        """Node count per phase (transfers and compute steps alike)."""
+        counts = [0] * self._phase_count
+        for node in self._nodes:
+            counts[node.phase] += 1
+        return counts
+
+    def check_nodes_in_range(self, num_nodes: int) -> None:
+        """Raise ``ValueError`` if any endpoint exceeds the topology."""
+        for idx, node in enumerate(self._nodes):
+            if node.src >= num_nodes or node.dst >= num_nodes:
+                raise ValueError(
+                    f"workload DAG node #{idx} ({node.kind} "
+                    f"{node.src}->{node.dst}) names a node id beyond the "
+                    f"{num_nodes}-node topology"
+                )
+
+    def critical_path_cycles(self, transfer_cycles) -> int:
+        """Static lower bound on the drain time (cycles).
+
+        Longest path through the DAG, costing each transfer with
+        ``transfer_cycles(node)`` (the caller supplies the contention-free
+        message latency), each compute step with its delay, and each
+        happens-before edge with the one-cycle release latency of the
+        engine (a successor becomes injectable the cycle *after* its last
+        predecessor completes).
+        """
+        count = len(self._nodes)
+        cost = [
+            transfer_cycles(node) if node.kind == TRANSFER else node.delay
+            for node in self._nodes
+        ]
+        finish = [0] * count
+        remaining = list(self._indegree)
+        frontier = [idx for idx in range(count) if remaining[idx] == 0]
+        ready = [0] * count
+        while frontier:
+            next_frontier: List[int] = []
+            for idx in frontier:
+                finish[idx] = ready[idx] + cost[idx]
+                for succ in self._successors[idx]:
+                    ready[succ] = max(ready[succ], finish[idx] + 1)
+                    remaining[succ] -= 1
+                    if remaining[succ] == 0:
+                        next_frontier.append(succ)
+            frontier = next_frontier
+        return max(finish)
+
+    # -- trace parsing ------------------------------------------------------------
+
+    @classmethod
+    def from_trace_dict(cls, data: object) -> "WorkloadDag":
+        """Build a DAG from the JSON edge-list trace format.
+
+        The document is ``{"nodes": [...], "edges": [[pred, succ], ...]}``
+        where each node record is either
+        ``{"kind": "transfer", "src": S, "dst": D, "flits": F}`` or
+        ``{"kind": "compute", "node": N, "delay": K}`` (both accept an
+        optional ``"phase"``).  Every malformed record raises
+        ``ValueError`` naming the entry.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"workload trace must be a JSON object with 'nodes' and "
+                f"'edges', got {type(data).__name__}"
+            )
+        raw_nodes = data.get("nodes")
+        if not isinstance(raw_nodes, list) or not raw_nodes:
+            raise ValueError("workload trace needs a non-empty 'nodes' list")
+        nodes: List[WorkloadNode] = []
+        for position, record in enumerate(raw_nodes):
+            nodes.append(cls._parse_trace_node(position, record))
+        raw_edges = data.get("edges", [])
+        if not isinstance(raw_edges, list):
+            raise ValueError("workload trace 'edges' must be a list of [pred, succ] pairs")
+        return cls(nodes, [tuple(edge) if isinstance(edge, list) else edge
+                           for edge in raw_edges])
+
+    @staticmethod
+    def _parse_trace_node(position: int, record: object) -> WorkloadNode:
+        if not isinstance(record, dict):
+            raise ValueError(
+                f"workload trace node #{position} must be a JSON object, "
+                f"got {record!r}"
+            )
+        kind = record.get("kind", TRANSFER)
+        phase = record.get("phase", 0)
+        if not isinstance(phase, int):
+            raise ValueError(
+                f"workload trace node #{position}: 'phase' must be an "
+                f"integer, got {phase!r}"
+            )
+
+        def _field(name: str, default: object = None) -> int:
+            value = record.get(name, default)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(
+                    f"workload trace node #{position} ({kind}): missing or "
+                    f"non-integer {name!r} field (got {value!r})"
+                )
+            return value
+
+        if kind == TRANSFER:
+            src, dst, flits = _field("src"), _field("dst"), _field("flits", 1)
+            try:
+                return WorkloadNode(
+                    kind=TRANSFER, src=src, dst=dst, flits=flits, phase=phase
+                )
+            except ValueError as error:
+                raise ValueError(
+                    f"workload trace node #{position}: {error}"
+                ) from None
+        if kind == COMPUTE:
+            home, delay = _field("node"), _field("delay", 0)
+            try:
+                return WorkloadNode(
+                    kind=COMPUTE, src=home, dst=home, delay=delay, phase=phase
+                )
+            except ValueError as error:
+                raise ValueError(
+                    f"workload trace node #{position}: {error}"
+                ) from None
+        raise ValueError(
+            f"workload trace node #{position}: unknown kind {kind!r} "
+            f"(expected {TRANSFER!r} or {COMPUTE!r})"
+        )
+
+    @classmethod
+    def from_trace_json(cls, text: str) -> "WorkloadDag":
+        """Parse a JSON trace document (see :meth:`from_trace_dict`)."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"workload trace is not valid JSON: {error}") from None
+        return cls.from_trace_dict(data)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadDag(nodes={len(self._nodes)}, "
+            f"transfers={self.num_transfers}, phases={self._phase_count})"
+        )

@@ -182,6 +182,43 @@ def test_r001_fires_on_a_broken_registry_entry():
     assert probe_registry_entries(kinds=["selector"]) == []
 
 
+def test_workload_probe_passes_for_builtin_generators():
+    assert probe_registry_entries(kinds=["workload"]) == []
+
+
+def test_r001_fires_on_a_broken_workload_factory():
+    registry = REGISTRIES["workload"]
+
+    def broken_workload(config, topology):
+        raise RuntimeError("fixture: workload deliberately unconstructible")
+
+    registry.register("lint-broken-workload", obj=broken_workload)
+    try:
+        findings = probe_registry_entries(kinds=["workload"])
+        assert [f.rule for f in findings] == ["R001"]
+        message = findings[0].message
+        assert "lint-broken-workload" in message
+        assert "deliberately unconstructible" in message
+    finally:
+        registry.unregister("lint-broken-workload")
+    assert probe_registry_entries(kinds=["workload"]) == []
+
+
+def test_r001_fires_on_a_workload_factory_returning_the_wrong_type():
+    registry = REGISTRIES["workload"]
+
+    def wrong_type_workload(config, topology):
+        return {"not": "a dag"}
+
+    registry.register("lint-wrong-type-workload", obj=wrong_type_workload)
+    try:
+        findings = probe_registry_entries(kinds=["workload"])
+        assert [f.rule for f in findings] == ["R001"]
+        assert "expected WorkloadDag" in findings[0].message
+    finally:
+        registry.unregister("lint-wrong-type-workload")
+
+
 def test_r002_fires_on_unknown_study_spec_fields():
     study = Study.from_dict(
         {

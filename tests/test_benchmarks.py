@@ -1,8 +1,8 @@
 """Smoke tests of the benchmark harnesses (marked ``bench``).
 
 Tier-1 skips these (see ``pytest.ini``); the full-matrix CI job and
-``pytest -m bench`` run them.  They execute the kernel, router, link
-and core benchmarks at smoke scale through their library entry points
+``pytest -m bench`` run them.  They execute the kernel, router, link,
+core and workload benchmarks at smoke scale through their library entry points
 and check the invariants the committed ``BENCH_*.json`` artifacts rely
 on: the report schema, the bit-identical cross-checks, and (for the
 committed artifacts) that the optimised schedule did not lose.
@@ -203,6 +203,53 @@ def test_committed_core_bench_covers_the_grid():
     assert report["summary"]["speedup_16x16_saturation"] >= 1.0
     assert report["summary"]["speedup_32x32_saturation"] is not None
     assert report["summary"]["min_speedup"] >= 0.9
+
+
+def test_workload_benchmark_smoke_report():
+    import bench_workload
+
+    report = bench_workload.run_benchmark(smoke=True, repeats=2)
+    assert report["benchmark"] == "workload"
+    assert report["scale"] == "smoke"
+    assert report["summary"]["all_bit_identical"] is True
+    assert report["summary"]["all_drained"] is True
+    assert len(report["points"]) == 2
+    for point in report["points"]:
+        assert set(point) >= {
+            "workload",
+            "mesh",
+            "transfers",
+            "cycles",
+            "drained",
+            "time_to_drain",
+            "cp_utilization",
+            "objects_seconds",
+            "flat_seconds",
+            "speedup",
+            "bit_identical",
+        }
+        assert point["time_to_drain"] <= point["cycles"]
+        assert 0.0 < point["cp_utilization"] <= 1.0
+    # No wall-clock assertion here (this test runs under coverage in the
+    # full-matrix job); the speed gate lives in the dedicated CI step
+    # (`bench_workload.py --fail-below 0.9`).
+    assert isinstance(report["summary"]["min_speedup"], float)
+
+
+def test_workload_benchmark_cli_writes_report_and_gates(tmp_path):
+    import bench_workload
+
+    output = tmp_path / "workload.json"
+    code = bench_workload.main(
+        ["--scale", "smoke", "--repeats", "1", "--output", str(output)]
+    )
+    assert code == 0
+    assert output.exists()
+    code = bench_workload.main(
+        ["--scale", "smoke", "--repeats", "1", "--output", str(output),
+         "--fail-below", "1000.0"]
+    )
+    assert code == 1
 
 
 def test_committed_link_bench_covers_the_grid():

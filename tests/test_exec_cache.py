@@ -218,14 +218,15 @@ def test_cache_key_is_stable_across_processes():
 # -- format v3+: component provenance in the key -------------------------------------
 
 
-def test_cache_format_is_v6():
+def test_cache_format_is_v7():
     # v3 added component provenance; v4 added the switch_mode config
     # field and its schedule provenance; v5 added link_mode; v6 added
-    # core_mode and its schedule provenance (see CACHE_FORMAT_VERSION
-    # docs).
+    # core_mode and its schedule provenance; v7 added the closed-loop
+    # workload fields, the drain result block and the flat core default
+    # (see CACHE_FORMAT_VERSION docs).
     from repro.exec.cache import CACHE_FORMAT_VERSION
 
-    assert CACHE_FORMAT_VERSION == 6
+    assert CACHE_FORMAT_VERSION == 7
 
 
 def test_switch_mode_feeds_the_key():
@@ -261,10 +262,10 @@ def test_core_mode_feeds_the_key():
     base = SimulationConfig.tiny()
     keys = {
         config_cache_key(base),
-        config_cache_key(base.variant(core_mode="flat")),
+        config_cache_key(base.variant(core_mode="objects")),
         config_cache_key(base.variant(switch_mode="reference")),
         config_cache_key(base.variant(link_mode="reference")),
-        config_cache_key(base.variant(core_mode="flat", switch_mode="reference")),
+        config_cache_key(base.variant(core_mode="objects", switch_mode="reference")),
     }
     assert len(keys) == 5
 

@@ -114,6 +114,7 @@ def _assert_equivalent(actual, reference, combo) -> None:
     assert actual.cycles == reference.cycles, combo
     assert actual.zero_load_latency == reference.zero_load_latency, combo
     assert actual.effective_message_rate == reference.effective_message_rate, combo
+    assert actual.drain == reference.drain, combo
     normalise = dict(
         switch_mode="reference", link_mode="reference", core_mode="objects"
     )
@@ -222,6 +223,41 @@ def test_core_axis_identical_json_across_kernels():
     activity = _run(config, "activity", "batched", "batched", "flat")
     exhaustive = _run(config, "exhaustive", "batched", "batched", "flat")
     assert activity.to_json() == exhaustive.to_json()
+
+
+#: The fifth axis: closed-loop workloads.  One small instance per
+#: built-in generator family plus the trace replayer; each must cross
+#: the whole sixteen-combination cube bit for bit, drain metrics
+#: included (the flat core fires the same delivery callbacks as the
+#: object interfaces).
+def _workload_overrides():
+    from repro.workload import example_trace_path
+
+    return {
+        "request-reply": {"workload": "request-reply", "workload_iters": 3},
+        "allreduce": {"workload": "allreduce", "workload_iters": 2,
+                      "workload_hidden": 32},
+        "alltoall": {"workload": "alltoall", "workload_iters": 2},
+        "llm-decode": {"workload": "llm-decode", "workload_layers": 2,
+                       "workload_hidden": 32, "workload_group": 4},
+        "trace": {"workload": "trace",
+                  "workload_trace": str(example_trace_path())},
+    }
+
+
+@pytest.mark.parametrize("workload", sorted(_workload_overrides()))
+def test_workload_axis_crosses_the_cube(workload):
+    """Every closed-loop generator reproduces the specification corner
+    bit for bit -- summary, cycles and drain block -- under all sixteen
+    (kernel, switch, link, core) combinations."""
+    config = SimulationConfig(
+        mesh_dims=(3, 3), message_length=4, seed=3,
+        **_workload_overrides()[workload],
+    )
+    baseline = _run(config, *SCHEDULE_CUBE[0])
+    assert baseline.drain is not None and baseline.drain["drained"], workload
+    for combo in SCHEDULE_CUBE[1:]:
+        _assert_equivalent(_run(config, *combo), baseline, combo)
 
 
 def test_config_rejects_unknown_core_mode():

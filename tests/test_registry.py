@@ -124,9 +124,20 @@ def test_component_provenance_is_stable_and_complete():
     }
     assert provenance["switch_mode"] == "repro.router.switch:BATCHED"
     assert provenance["link_mode"] == "repro.network.link:BATCHED"
-    assert provenance["core_mode"] == "repro.network.flatcore:OBJECTS"
+    assert provenance["core_mode"] == "repro.network.flatcore:FLAT"
     assert provenance["traffic"] == "repro.traffic.patterns:UniformPattern"
     assert provenance == registry.config_component_provenance(config)
+
+
+def test_component_provenance_includes_workloads_and_skips_none():
+    # Closed-loop configs gain a workload entry; open-loop configs omit
+    # the None-valued field from the key surface entirely.
+    open_loop = registry.config_component_provenance(SimulationConfig.tiny())
+    assert "workload" not in open_loop
+    closed = registry.config_component_provenance(
+        SimulationConfig.tiny(workload="allreduce")
+    )
+    assert closed["workload"] == "repro.workload.builtin:ring_allreduce_workload"
 
 
 # -- plugging in user components -----------------------------------------------------

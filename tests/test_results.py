@@ -91,6 +91,7 @@ def test_result_to_dict_round_trip():
         "zero_load_latency",
         "cycles",
         "effective_message_rate",
+        "drain",
     }
     assert SimulationResult.from_dict(data) == result
 

@@ -70,6 +70,9 @@ def _random_config(seed: int) -> SimulationConfig:
         warmup_messages=20,
         measure_messages=120,
         seed=seed,
+        # These properties introspect the object components (router
+        # counters, VC state); the flat-core legs opt in explicitly.
+        core_mode="objects",
     )
 
 
