@@ -71,6 +71,11 @@ def _probes() -> Dict[str, Callable[[object, str], None]]:
     base = _probe_config()
     topology = build_topology(base)
     table = build_table(base, topology)
+    # A wrapping probe instance: every routing entry must either accept a
+    # torus (dateline discipline) or refuse it with a pointed ValueError.
+    torus_config = SimulationConfig(mesh_dims=(4, 4), torus=True, num_escape_vcs=2)
+    torus = build_topology(torus_config)
+    torus_table = build_table(torus_config, torus)
 
     def _expect_instance(kind_class):
         def probe(factory: object, name: str) -> None:
@@ -83,10 +88,24 @@ def _probes() -> Dict[str, Callable[[object, str], None]]:
         return probe
 
     def _probe_topology(factory, name):
-        config = base if name != "torus" else SimulationConfig(
-            mesh_dims=(4, 4), torus=True
-        )
+        if name == "torus":
+            config = torus_config
+        elif name == "torus3d":
+            config = SimulationConfig(
+                mesh_dims=(4, 4, 4), topology="torus3d", num_escape_vcs=2
+            )
+        else:
+            config = base
         factory(config)
+
+    def _probe_routing(factory, name):
+        factory(topology, table, base)
+        try:
+            factory(torus, torus_table, torus_config)
+        except ValueError:
+            # A pointed refusal of wraparound links (turn models) is a
+            # valid answer; any other failure propagates as R001.
+            pass
 
     def _probe_study(factory, name):
         study = factory()
@@ -117,7 +136,7 @@ def _probes() -> Dict[str, Callable[[object, str], None]]:
     return {
         "topology": _probe_topology,
         "table": lambda factory, name: factory(topology, base),
-        "routing": lambda factory, name: factory(topology, table, base),
+        "routing": _probe_routing,
         "selector": lambda factory, name: factory(_probe_rng()),
         "traffic": lambda factory, name: factory(topology),
         "injection": lambda factory, name: factory(base, 0.01),

@@ -54,6 +54,16 @@ class SimulationConfig:
     mesh_dims: Tuple[int, ...] = (8, 8)
     #: Use wraparound (torus) links instead of a mesh.
     torus: bool = False
+    #: Topology registry name (``"mesh"``, ``"torus"``, ``"torus3d"`` or a
+    #: plugin).  Empty selects automatically from ``torus``: ``"torus"``
+    #: when set, ``"mesh"`` otherwise.  Setting both ``torus=True`` and
+    #: ``topology="mesh"`` is a contradiction and fails validation.
+    topology: str = ""
+    #: Optional per-dimension link delays: entry ``d`` is the traversal
+    #: time of every dimension-``d`` router link (e.g. slow TSV Z-links
+    #: on a stacked 3-D torus).  ``None`` keeps the uniform
+    #: ``link_delay``.  Length must match ``mesh_dims``.
+    link_delays: Optional[Tuple[int, ...]] = None
 
     # -- router microarchitecture ----------------------------------------------------
     #: Virtual channels per physical channel.
@@ -149,8 +159,32 @@ class SimulationConfig:
     keep_samples: bool = False
 
     def __post_init__(self) -> None:
+        # Normalize sequence fields to tuples so every construction path
+        # (JSON lists included) yields an equal, hashable config.
+        if not isinstance(self.mesh_dims, tuple):
+            object.__setattr__(self, "mesh_dims", tuple(self.mesh_dims))
+        if self.link_delays is not None and not isinstance(self.link_delays, tuple):
+            object.__setattr__(self, "link_delays", tuple(self.link_delays))
         if len(self.mesh_dims) < 1:
             raise ValueError("mesh_dims needs at least one dimension")
+        if self.torus and self.topology == "mesh":
+            raise ValueError(
+                "SimulationConfig: torus=True contradicts topology='mesh'; "
+                "drop one of the two (topology='' selects from the torus "
+                "flag automatically)"
+            )
+        if self.link_delays is not None:
+            if len(self.link_delays) != len(self.mesh_dims):
+                raise ValueError(
+                    "link_delays needs one entry per dimension: got "
+                    f"{len(self.link_delays)} delays for "
+                    f"{len(self.mesh_dims)} dimensions"
+                )
+            if any(delay < 1 for delay in self.link_delays):
+                raise ValueError(
+                    "every per-dimension link delay needs at least one "
+                    f"cycle, got link_delays={self.link_delays}"
+                )
         if self.normalized_load < 0:
             raise ValueError("normalized load cannot be negative")
         if self.message_length < 1:
@@ -268,6 +302,10 @@ class SimulationConfig:
         kwargs = {key: value for key, value in data.items() if key in known}
         if "mesh_dims" in kwargs:
             kwargs["mesh_dims"] = tuple(int(extent) for extent in kwargs["mesh_dims"])
+        if kwargs.get("link_delays") is not None:
+            kwargs["link_delays"] = tuple(
+                int(delay) for delay in kwargs["link_delays"]
+            )
         return cls(**kwargs)
 
     @property

@@ -110,6 +110,7 @@ class NetworkSimulator:
             buffer_depth=config.buffer_depth,
             pipeline=pipeline_by_name(config.pipeline),
             link_delay=config.link_delay,
+            link_delays=config.link_delays,
             credit_delay=config.credit_delay,
             switch_mode=config.switch_mode,
             link_mode=config.link_mode,
@@ -133,7 +134,9 @@ class NetworkSimulator:
             )
             self._stats.add_delivery_callback(self._workload.on_delivered)
             self._message_rate = 0.0
-            hop = self._router_config.pipeline.hop_latency(config.link_delay)
+            hop = self._router_config.pipeline.hop_latency(
+                self._router_config.max_link_delay
+            )
             self._critical_path = dag.critical_path_cycles(
                 lambda step: (self._topology.distance(step.src, step.dst) + 1) * hop
                 + (step.flits - 1)
@@ -263,9 +266,13 @@ class NetworkSimulator:
 
         The header crosses ``average distance + 1`` router pipelines (the
         +1 accounts for injection/ejection overhead at the endpoints) and
-        the remaining flits add one cycle each of serialization.
+        the remaining flits add one cycle each of serialization.  With
+        per-dimension ``link_delays`` the slowest link bounds the
+        estimate (it is a budget heuristic, not a prediction).
         """
-        hop = self._router_config.pipeline.hop_latency(self._config.link_delay)
+        hop = self._router_config.pipeline.hop_latency(
+            self._router_config.max_link_delay
+        )
         average_distance = self._topology.average_distance()
         return (average_distance + 1.0) * hop + (self._config.message_length - 1)
 

@@ -57,7 +57,12 @@ __all__ = [
 #: None-valued optional component fields are omitted from the
 #: provenance map, so every pre-workload entry hashes to a different
 #: slot and is never served as current.
-CACHE_FORMAT_VERSION = 7
+#: Version 8: configurations grew the ``topology`` and ``link_delays``
+#: fields (explicit topology selection incl. the 3-D torus, per-dimension
+#: link delays) and the topology provenance can now name ``torus3d``, so
+#: entries written before tori were simulatable are never served as
+#: current.
+CACHE_FORMAT_VERSION = 8
 
 #: ``*.tmp`` files younger than this many seconds are presumed to belong
 #: to a live concurrent writer and are left alone by :meth:`ResultCache.clear`.

@@ -173,6 +173,24 @@ class FlatNetworkCore:
         vc_classes = routing.vc_classes(vcs)
         self._adaptive_vcs = vc_classes.adaptive_vcs
         self._escape_vcs = vc_classes.escape_vcs
+        # Per-port escape pools indexed by the header's dateline class for
+        # that port's dimension (Router._escape_pools).  The ejection port
+        # and every mesh port offer the full escape set in both classes,
+        # so the class read is a harmless constant off datelines.
+        if vc_classes.escape_classes is not None:
+            _pools = vc_classes.escape_classes
+        else:
+            _pools = (vc_classes.escape_vcs, vc_classes.escape_vcs)
+        self._escape_pools: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = [
+            (vc_classes.escape_vcs, vc_classes.escape_vcs)
+            if port == LOCAL_PORT
+            else _pools
+            for port in range(radix)
+        ]
+        self._port_dimension: List[int] = [
+            0 if port == LOCAL_PORT else port_direction(port)[0]
+            for port in range(radix)
+        ]
 
         self._selectors: List[PathSelector] = [router.selector for router in routers]
         self._selector_records = (
@@ -186,10 +204,31 @@ class FlatNetworkCore:
         self._selection_offset = pipeline.selection_offset
         self._lookahead = pipeline.lookahead
         self._local_delay = pipeline.switch_delay
-        self._link_hop_delay = pipeline.switch_delay + config.link_delay
         self._link_delay = config.link_delay
         self._credit_delay = config.credit_delay
         self._capacity = config.buffer_depth
+        #: Atomic VC allocation on wrapping topologies: required credit
+        #: level (the full downstream buffer) before a header may claim
+        #: an output VC, 0 (disabled) on meshes (Router._atomic_credits).
+        self._atomic_credits = config.buffer_depth if topology.wraps else 0
+        # Per-output-port forward delay (Router._port_delays): ejection at
+        # the local switch delay, each link port at switch delay plus its
+        # dimension's link traversal time.
+        switch_delay = pipeline.switch_delay
+        self._port_hop_delay: List[int] = [self._local_delay] * radix
+        for port in range(1, radix):
+            dimension = port_direction(port)[0]
+            self._port_hop_delay[port] = switch_delay + config.link_delay_for(
+                dimension
+            )
+        # Dateline bits contributed by each global output port's link
+        # (Router._dateline_bits, flattened over the whole network).
+        self._dateline_bits: List[int] = [0] * (num_nodes * radix)
+        for node in range(num_nodes):
+            for port in range(1, radix):
+                self._dateline_bits[node * radix + port] = topology.dateline_bits(
+                    node, port
+                )
 
         # -- flat state arrays ------------------------------------------------
         num_channels = num_nodes * radix * vcs
@@ -274,7 +313,7 @@ class FlatNetworkCore:
 
         # -- global arrival wheels --------------------------------------------
         self._wheel_size = 1 + max(
-            self._link_hop_delay,
+            switch_delay + config.max_link_delay,
             self._link_delay,
             self._local_delay,
             self._credit_delay,
@@ -416,7 +455,8 @@ class FlatNetworkCore:
         neighbor = self._topology.neighbor
         credit_slot = (cycle + self._credit_delay) % wheel
         eject_slot = (cycle + self._local_delay) % wheel
-        hop_slot = (cycle + self._link_hop_delay) % wheel
+        port_hop_delay = self._port_hop_delay
+        dateline_bits = self._dateline_bits
         flit_pushed = 0
         credit_pushed = 0
         eject_pushed = 0
@@ -554,6 +594,9 @@ class FlatNetworkCore:
                 if flit.is_head:
                     flit.hops += 1
                     flit.message.hops = flit.hops
+                    bits = dateline_bits[pidx]
+                    if bits:
+                        flit.dateline_mask |= bits
                     if lookahead and out_port != LOCAL_PORT:
                         next_node = neighbor(node, out_port)
                         flit.lookahead_node = next_node
@@ -562,7 +605,9 @@ class FlatNetworkCore:
                         )
                 dest = go_flit_dest[go]
                 if dest >= 0:
-                    flit_lanes[hop_slot].append((dest, flit))
+                    flit_lanes[
+                        (cycle + port_hop_delay[out_port]) % wheel
+                    ].append((dest, flit))
                     flit_pushed += 1
                 else:
                     eject_lanes[eject_slot].append((go, flit))
@@ -619,6 +664,8 @@ class FlatNetworkCore:
         pbase = node * self._radix
         out_connected = self._out_connected
         out_owner = self._out_owner
+        out_credits = self._out_credits
+        atomic = self._atomic_credits
         adaptive_vcs = self._adaptive_vcs
         candidate_ports: List[int] = []
         candidate_free: List[List[int]] = []
@@ -626,7 +673,14 @@ class FlatNetworkCore:
             if not out_connected[pbase + port]:
                 continue
             obase = (pbase + port) * vcs
-            free = [vc for vc in adaptive_vcs if out_owner[obase + vc] < 0]
+            if atomic:
+                free = [
+                    vc
+                    for vc in adaptive_vcs
+                    if out_owner[obase + vc] < 0 and out_credits[obase + vc] == atomic
+                ]
+            else:
+                free = [vc for vc in adaptive_vcs if out_owner[obase + vc] < 0]
             if free:
                 candidate_ports.append(port)
                 candidate_free.append(free)
@@ -652,11 +706,21 @@ class FlatNetworkCore:
                     ) from None
                 selected_vc = candidate_free[index][0]
         else:
-            escape_vcs = self._escape_vcs
             escape_port = decision.escape_port
-            if escape_vcs and out_connected[pbase + escape_port]:
+            if self._escape_vcs and out_connected[pbase + escape_port]:
+                pool = self._escape_pools[escape_port][
+                    (head.dateline_mask >> self._port_dimension[escape_port]) & 1
+                ]
                 obase = (pbase + escape_port) * vcs
-                free = [vc for vc in escape_vcs if out_owner[obase + vc] < 0]
+                if atomic:
+                    free = [
+                        vc
+                        for vc in pool
+                        if out_owner[obase + vc] < 0
+                        and out_credits[obase + vc] == atomic
+                    ]
+                else:
+                    free = [vc for vc in pool if out_owner[obase + vc] < 0]
                 if free:
                     selected_port = escape_port
                     selected_vc = free[0]

@@ -6,7 +6,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.network.interface import NetworkInterface
 from repro.network.link import Link
-from repro.network.topology import LOCAL_PORT, Topology
+from repro.network.topology import LOCAL_PORT, Topology, port_direction
 from repro.router.config import RouterConfig
 from repro.router.router import Router
 from repro.routing.base import RoutingAlgorithm
@@ -87,7 +87,9 @@ class Network:
                     source_port=port,
                     destination=neighbor,
                     destination_port=neighbor_port,
-                    delay=self._router_config.link_delay,
+                    delay=self._router_config.link_delay_for(
+                        port_direction(port)[0]
+                    ),
                 )
             )
         for node in range(self._topology.num_nodes):

@@ -20,6 +20,7 @@ __all__ = [
     "LOCAL_PORT",
     "MeshTopology",
     "Topology",
+    "Torus3D",
     "TorusTopology",
     "port_direction",
     "port_for",
@@ -168,6 +169,20 @@ class Topology:
                 neighbor = self.neighbor(node, port)
                 if neighbor is not None:
                     yield node, port, neighbor, self.reverse_port(port)
+
+    def dateline_bits(self, node: int, port: int) -> int:
+        """Dateline-crossing mask contribution of forwarding through ``port``.
+
+        Non-zero only on wrapping topologies, where the dateline of
+        dimension ``d`` sits on the wraparound links (coordinate ``k-1 ->
+        0`` in the positive direction, ``0 -> k-1`` in the negative one);
+        crossing either sets bit ``1 << d`` in a message's accumulated
+        dateline mask.  The dateline virtual-channel discipline (see
+        :mod:`repro.routing.duato`) reads the mask to pick the escape
+        class; meshes have no datelines, so the base implementation
+        returns 0 for every link.
+        """
+        return 0
 
     # -- routing geometry ---------------------------------------------------
 
@@ -351,6 +366,38 @@ class TorusTopology(Topology):
     def saturation_flit_rate(self) -> float:
         return 8.0 / max(self._dims)
 
+    def dateline_bits(self, node: int, port: int) -> int:
+        if port == LOCAL_PORT:
+            return 0
+        dimension, sign = port_direction(port)
+        coordinate = self.coordinates(node)[dimension]
+        extent = self._dims[dimension]
+        if sign > 0:
+            crosses = coordinate == extent - 1
+        else:
+            crosses = coordinate == 0
+        return (1 << dimension) if crosses else 0
+
+
+class Torus3D(TorusTopology):
+    """3-ary torus with (optionally) heterogeneous per-dimension links.
+
+    Geometry and routing are exactly the n-dimensional torus restricted
+    to three dimensions; what the class adds is the stacked-die shape
+    (gem5-Garnet's ``Torus3D``), where the Z dimension is typically built
+    from slower through-silicon vias.  The per-dimension latencies
+    themselves live in :attr:`SimulationConfig.link_delays` and are
+    plumbed through :class:`~repro.router.config.RouterConfig` into both
+    network cores; the topology only pins the 3-D shape.
+    """
+
+    def __init__(self, dims: Sequence[int]) -> None:
+        if len(dims) != 3:
+            raise ValueError(
+                f"Torus3D needs exactly 3 dimensions, got mesh_dims={tuple(dims)}"
+            )
+        super().__init__(dims)
+
 
 # -- registry factories --------------------------------------------------------------
 
@@ -363,7 +410,34 @@ def _make_mesh(config) -> MeshTopology:
     return MeshTopology(config.mesh_dims)
 
 
+_make_mesh.wraps = False
+
+
 @_register("topology", "torus")
 def _make_torus(config) -> TorusTopology:
     """n-dimensional torus (wraparound links in every dimension)."""
     return TorusTopology(config.mesh_dims)
+
+
+_make_torus.wraps = True
+
+
+@_register("topology", "torus3d")
+def _make_torus3d(config) -> Torus3D:
+    """3-D torus (stacked-die shape; pair with ``link_delays`` for slow
+    TSV Z-links)."""
+    return Torus3D(config.mesh_dims)
+
+
+_make_torus3d.wraps = True
+
+
+def _validate_torus3d_config(config) -> None:
+    if len(config.mesh_dims) != 3:
+        raise ValueError(
+            "SimulationConfig.topology='torus3d' needs exactly 3 mesh "
+            f"dimensions, got mesh_dims={config.mesh_dims}"
+        )
+
+
+_make_torus3d.validate_config = _validate_torus3d_config

@@ -335,7 +335,14 @@ CONFIG_FIELD_KINDS: Dict[str, str] = {
 
 
 def topology_name(config) -> str:
-    """Registry name of the topology a configuration selects."""
+    """Registry name of the topology a configuration selects.
+
+    The explicit ``topology`` field wins; an empty string falls back to
+    the ``torus`` flag (``"torus"`` when set, ``"mesh"`` otherwise).
+    """
+    explicit = getattr(config, "topology", "")
+    if explicit:
+        return explicit
     return "torus" if config.torus else "mesh"
 
 
@@ -344,7 +351,15 @@ def validate_config_names(config) -> None:
 
     Raises ``ValueError`` naming the offending field, the bad value and
     the sorted registered alternatives -- at configuration-construction
-    time, instead of deep inside network assembly.
+    time, instead of deep inside network assembly.  Cross-field checks
+    ride along: the selected topology factory may veto the configuration
+    (``validate_config`` attribute, e.g. torus3d requiring three
+    dimensions), and on a wrapping topology (``wraps`` attribute) the
+    routing factory's ``validate_wraparound`` runs, so a routing x
+    topology x escape-VC mismatch fails here with a pointed error
+    instead of a ValueError from deep inside network wiring.  Plugin
+    factories without these attributes are skipped and keep their
+    wiring-time behaviour.
     """
     for field, kind in CONFIG_FIELD_KINDS.items():
         registry = REGISTRIES[kind]
@@ -356,11 +371,21 @@ def validate_config_names(config) -> None:
                 f"SimulationConfig.{field}: unknown {registry.kind} {value!r}; "
                 f"registered alternatives: {', '.join(registry.names()) or '(none)'}"
             )
-    if topology_name(config) not in TOPOLOGIES:  # pragma: no cover - builtin
+    name = topology_name(config)
+    if name not in TOPOLOGIES:
         raise ValueError(
-            f"unknown topology {topology_name(config)!r}; registered "
-            f"alternatives: {', '.join(TOPOLOGIES.names())}"
+            f"SimulationConfig.topology: unknown topology {name!r}; "
+            f"registered alternatives: {', '.join(TOPOLOGIES.names())}"
         )
+    topology_factory = TOPOLOGIES.get(name)
+    topology_check = getattr(topology_factory, "validate_config", None)
+    if topology_check is not None:
+        topology_check(config)
+    if getattr(topology_factory, "wraps", False):
+        routing_factory = ROUTING_ALGORITHMS.get(config.routing)
+        wrap_check = getattr(routing_factory, "validate_wraparound", None)
+        if wrap_check is not None:
+            wrap_check(config)
 
 
 def config_component_provenance(config) -> Dict[str, Optional[str]]:

@@ -165,6 +165,23 @@ class OutputPort:
         """Indices of free virtual channels, restricted to ``among``."""
         return [vc for vc in among if self.vcs[vc].is_free]
 
+    def empty_vcs(self, among: Tuple[int, ...], capacity: int) -> List[int]:
+        """Free virtual channels whose downstream buffer is empty.
+
+        Atomic allocation (wrapping topologies): a header may claim a
+        virtual channel only when every downstream buffer slot is
+        credited back, so a channel queue never holds flits of two
+        messages.  Duato's wormhole deadlock-freedom argument assumes
+        exactly this -- with FIFO chaining a header can be buried behind
+        a foreign blocked message inside an escape buffer, re-coupling
+        the escape subnetwork to adaptive-channel cycles.
+        """
+        return [
+            vc
+            for vc in among
+            if self.vcs[vc].is_free and self.vcs[vc].credits == capacity
+        ]
+
     def busy_vc_count(self) -> int:
         """Number of allocated virtual channels (MIN-MUX metric)."""
         return sum(1 for vc in self.vcs if not vc.is_free)

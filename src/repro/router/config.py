@@ -8,6 +8,7 @@ top-level simulation configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
 
 from repro.router.pipeline import PROUD, PipelineTiming
 
@@ -31,6 +32,13 @@ class RouterConfig:
         :mod:`repro.router.pipeline`.
     link_delay:
         Cycles to traverse a link between two routers (1 in the paper).
+    link_delays:
+        Optional per-dimension link delays overriding ``link_delay`` for
+        router-to-router links: entry ``d`` is the traversal time of
+        every dimension-``d`` link (e.g. slow TSV Z-links on a stacked
+        3-D torus).  ``None`` keeps the uniform ``link_delay``; the
+        injection link between a network interface and its router always
+        uses ``link_delay``.
     credit_delay:
         Cycles for a credit to travel back to the upstream router.
     switch_mode:
@@ -52,6 +60,7 @@ class RouterConfig:
     buffer_depth: int = 5
     pipeline: PipelineTiming = field(default_factory=lambda: PROUD)
     link_delay: int = 1
+    link_delays: Optional[Tuple[int, ...]] = None
     credit_delay: int = 1
     switch_mode: str = "batched"
     link_mode: str = "batched"
@@ -63,12 +72,30 @@ class RouterConfig:
             raise ValueError("virtual-channel buffers need at least one flit slot")
         if self.link_delay < 1:
             raise ValueError("links need at least one cycle of delay")
+        if self.link_delays is not None and any(d < 1 for d in self.link_delays):
+            raise ValueError(
+                "every per-dimension link delay needs at least one cycle, "
+                f"got link_delays={self.link_delays}"
+            )
         if self.credit_delay < 1:
             raise ValueError("credit return needs at least one cycle of delay")
         # Resolve eagerly so a typo fails at configuration time, with the
         # registry's standard unknown-name message.
         self.switch_schedule()
         self.link_schedule()
+
+    def link_delay_for(self, dimension: int) -> int:
+        """Traversal time of a dimension-``dimension`` router link."""
+        if self.link_delays is not None and dimension < len(self.link_delays):
+            return self.link_delays[dimension]
+        return self.link_delay
+
+    @property
+    def max_link_delay(self) -> int:
+        """The slowest router-link delay (sizes the arrival wheels)."""
+        if self.link_delays:
+            return max(self.link_delay, *self.link_delays)
+        return self.link_delay
 
     def switch_schedule(self):
         """The registered :class:`~repro.router.switch.SwitchSchedule`."""

@@ -202,10 +202,11 @@ class Router:
         # ``port * vcs + vc`` indices), per-port tuple deques under the
         # reference one.
         if self._batched_links:
+            max_link_delay = config.max_link_delay
             wheel_size = 1 + max(
-                config.link_delay + config.pipeline.switch_delay,
+                max_link_delay + config.pipeline.switch_delay,
                 config.pipeline.switch_delay,
-                config.link_delay,
+                max_link_delay,
                 config.credit_delay,
             )
             self._flit_wheel = ArrivalWheel(wheel_size)
@@ -290,8 +291,54 @@ class Router:
         self._selection_offset = self._pipeline.selection_offset
         self._lookahead = self._pipeline.lookahead
         self._local_delay = self._pipeline.switch_delay
-        self._link_hop_delay = self._pipeline.switch_delay + config.link_delay
         self._credit_delay = config.credit_delay
+        #: Crossbar-to-arrival delay per output port: switch traversal
+        #: for the local ejection port, switch plus the (per-dimension)
+        #: link delay for network ports.
+        switch_delay = self._pipeline.switch_delay
+        self._port_delays: List[int] = [self._local_delay] * radix
+        for port in range(1, radix):
+            dimension = port_direction(port)[0]
+            self._port_delays[port] = switch_delay + config.link_delay_for(dimension)
+        #: Dateline-crossing mask contribution per output port (see
+        #: ``Topology.dateline_bits``); all zeros on meshes, so the mesh
+        #: forward path pays one indexed read per header.
+        self._dateline_bits: List[int] = [
+            0 if port == LOCAL_PORT else topology.dateline_bits(node_id, port)
+            for port in range(radix)
+        ]
+        # Escape-channel pools per output port, indexed by the dateline
+        # class the header's mask selects: ``(class0_pool, class1_pool)``.
+        # Without a dateline split (meshes) both entries are the whole
+        # escape pool, as is the local ejection port's (a message leaving
+        # the network needs no dateline ordering).
+        classes = self._vc_classes
+        if classes.escape_classes is not None:
+            escape_pools = classes.escape_classes
+        else:
+            escape_pools = (classes.escape_vcs, classes.escape_vcs)
+        self._escape_pools: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = [
+            (classes.escape_vcs, classes.escape_vcs)
+            if port == LOCAL_PORT
+            else escape_pools
+            for port in range(radix)
+        ]
+        #: Dimension of each network port: the bit of the dateline mask
+        #: that selects the escape class at that port.
+        self._port_dimension: List[int] = [
+            0 if port == LOCAL_PORT else port_direction(port)[0]
+            for port in range(radix)
+        ]
+        #: Atomic virtual-channel allocation (wrapping topologies): the
+        #: downstream buffer capacity a candidate VC must have fully
+        #: credited back before a new header may claim it, 0 (disabled)
+        #: on meshes.  One message per channel queue is an assumption of
+        #: Duato's wormhole deadlock-freedom proof; with FIFO chaining a
+        #: header can sit inside an escape buffer behind a foreign
+        #: message that re-entered the adaptive network, letting a cycle
+        #: of committed adaptive channels block the escape subnetwork
+        #: (observed as tornado-on-torus deadlock).
+        self._atomic_credits = config.buffer_depth if topology.wraps else 0
         #: Whether the selector actually listens to ``record_use``
         #: notifications (history-based heuristics); detected once so the
         #: per-flit forward path skips the no-op call for the others.
@@ -673,12 +720,19 @@ class Router:
         decision = self._route_decision(head)
 
         # Adaptive candidates: ports permitted by the table that currently
-        # have a free adaptive-class virtual channel.
+        # have a free adaptive-class virtual channel.  On wrapping
+        # topologies allocation is atomic: the candidate's downstream
+        # buffer must be empty (see ``_atomic_credits``).
+        atomic = self._atomic_credits
         adaptive_free: Dict[int, List[int]] = {}
         for port in decision.adaptive_ports:
             if not self._usable_port(port):
                 continue
-            free = self._outputs[port].free_vcs(self._vc_classes.adaptive_vcs)
+            output = self._outputs[port]
+            if atomic:
+                free = output.empty_vcs(self._vc_classes.adaptive_vcs, atomic)
+            else:
+                free = output.free_vcs(self._vc_classes.adaptive_vcs)
             if free:
                 adaptive_free[port] = free
 
@@ -699,12 +753,21 @@ class Router:
                     )
             selected_vc = adaptive_free[selected_port][0]
         elif self._vc_classes.escape_vcs and self._usable_port(decision.escape_port):
-            # Fall back to the escape channel (dimension-order subfunction).
-            free = self._outputs[decision.escape_port].free_vcs(
-                self._vc_classes.escape_vcs
-            )
+            # Fall back to the escape channel (dimension-order
+            # subfunction), drawing from the dateline class the header's
+            # crossing mask selects for this port's dimension (the whole
+            # escape pool on meshes and at the ejection port).
+            escape_port = decision.escape_port
+            pool = self._escape_pools[escape_port][
+                (head.dateline_mask >> self._port_dimension[escape_port]) & 1
+            ]
+            output = self._outputs[escape_port]
+            if atomic:
+                free = output.empty_vcs(pool, atomic)
+            else:
+                free = output.free_vcs(pool)
             if free:
-                selected_port = decision.escape_port
+                selected_port = escape_port
                 selected_vc = free[0]
 
         if selected_port is None or selected_vc is None:
@@ -878,6 +941,11 @@ class Router:
         if flit.is_head:
             flit.hops += 1
             flit.message.hops = flit.hops
+            bits = self._dateline_bits[out_port]
+            if bits:
+                # Crossing this dimension's dateline (wraparound) link:
+                # escape requests downstream switch to dateline class 1.
+                flit.dateline_mask |= bits
             if self._lookahead and out_port != LOCAL_PORT:
                 # Look-ahead routing: compute the decision for the next
                 # router now, concurrently with the crossbar traversal, and
@@ -891,7 +959,7 @@ class Router:
             raise AssertionError(
                 f"router {self._node_id} forwarded a flit to unconnected port {out_port}"
             )
-        delay = self._local_delay if out_port == LOCAL_PORT else self._link_hop_delay
+        delay = self._port_delays[out_port]
         if self._batched_links:
             self._flit_senders[out_port](channel.out_vc, flit, cycle + delay)
         else:

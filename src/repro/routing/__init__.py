@@ -16,7 +16,12 @@ Two closely related concepts live here:
   routing.
 """
 
-from repro.routing.base import RouteDecision, RoutingAlgorithm, VirtualChannelClasses
+from repro.routing.base import (
+    RouteDecision,
+    RoutingAlgorithm,
+    VirtualChannelClasses,
+    dateline_escape_classes,
+)
 from repro.routing.dimension_order import DimensionOrderRouting
 from repro.routing.duato import DuatoFullyAdaptiveRouting
 from repro.routing.providers import (
@@ -35,6 +40,7 @@ __all__ = [
     "RoutingAlgorithm",
     "TurnModelRouting",
     "VirtualChannelClasses",
+    "dateline_escape_classes",
     "dimension_order_provider",
     "minimal_adaptive_provider",
     "negative_first_provider",
@@ -44,6 +50,14 @@ __all__ = [
 
 
 # -- registry factories --------------------------------------------------------------
+#
+# Each factory may carry a ``validate_wraparound(config)`` attribute:
+# eager config validation (:func:`repro.registry.validate_config_names`)
+# calls it when the selected topology wraps, so a routing x topology x
+# escape-VC mismatch fails at SimulationConfig construction with a
+# pointed cross-field error instead of a ValueError from deep inside
+# network wiring.  Factories without the attribute (plugins) are skipped
+# and keep their wiring-time behaviour.
 
 from repro.registry import register as _register  # noqa: E402
 
@@ -56,10 +70,45 @@ def _make_duato(topology, table, config) -> DuatoFullyAdaptiveRouting:
     )
 
 
+def _duato_validate_wraparound(config) -> None:
+    if config.num_escape_vcs < 2:
+        raise ValueError(
+            "SimulationConfig: routing='duato' on a wrapping topology "
+            "needs >=2 escape VCs on a torus (dateline discipline: one "
+            "escape class before the dateline crossing, one after); got "
+            f"num_escape_vcs={config.num_escape_vcs}"
+        )
+
+
+_make_duato.validate_wraparound = _duato_validate_wraparound
+
+
 @_register("routing", "dimension-order")
 def _make_dimension_order(topology, table, config) -> DimensionOrderRouting:
     """Deterministic dimension-order (XY) routing."""
     return DimensionOrderRouting(topology)
+
+
+def _dimension_order_validate_wraparound(config) -> None:
+    if config.vcs_per_port < 2:
+        raise ValueError(
+            "SimulationConfig: routing='dimension-order' on a wrapping "
+            "topology needs >=2 escape VCs on a torus (all VCs become "
+            "dateline escape channels, one class before the dateline "
+            f"crossing, one after); got vcs_per_port={config.vcs_per_port}"
+        )
+
+
+_make_dimension_order.validate_wraparound = _dimension_order_validate_wraparound
+
+
+def _turn_model_validate_wraparound(config) -> None:
+    raise ValueError(
+        f"SimulationConfig: routing={config.routing!r} is a turn-model "
+        "algorithm, which is only deadlock free on meshes; wraparound "
+        "links need routing='duato' or 'dimension-order' with >=2 escape "
+        "VCs (dateline discipline)"
+    )
 
 
 @_register("routing", "north-last")
@@ -68,13 +117,22 @@ def _make_north_last(topology, table, config) -> TurnModelRouting:
     return TurnModelRouting(topology, model="north-last")
 
 
+_make_north_last.validate_wraparound = _turn_model_validate_wraparound
+
+
 @_register("routing", "west-first")
 def _make_west_first(topology, table, config) -> TurnModelRouting:
     """West-First partially adaptive turn-model routing."""
     return TurnModelRouting(topology, model="west-first")
 
 
+_make_west_first.validate_wraparound = _turn_model_validate_wraparound
+
+
 @_register("routing", "negative-first")
 def _make_negative_first(topology, table, config) -> TurnModelRouting:
     """Negative-First partially adaptive turn-model routing."""
     return TurnModelRouting(topology, model="negative-first")
+
+
+_make_negative_first.validate_wraparound = _turn_model_validate_wraparound

@@ -17,9 +17,33 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
-__all__ = ["RouteDecision", "RoutingAlgorithm", "VirtualChannelClasses"]
+__all__ = [
+    "RouteDecision",
+    "RoutingAlgorithm",
+    "VirtualChannelClasses",
+    "dateline_escape_classes",
+]
+
+
+def dateline_escape_classes(
+    escape_vcs: Tuple[int, ...]
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Split escape virtual channels into the two dateline classes.
+
+    Class 0 serves messages that have not yet crossed the dateline of the
+    dimension they are escaping on, class 1 those that have.  An odd VC
+    count gives the extra channel to class 0, where every message starts.
+    Needs at least two escape VCs -- one per class -- to be expressible.
+    """
+    if len(escape_vcs) < 2:
+        raise ValueError(
+            "the dateline discipline needs at least 2 escape virtual "
+            f"channels (one per dateline class), got {len(escape_vcs)}"
+        )
+    split = (len(escape_vcs) + 1) // 2
+    return escape_vcs[:split], escape_vcs[split:]
 
 
 @dataclass(frozen=True)
@@ -45,15 +69,33 @@ class RouteDecision:
 
 @dataclass(frozen=True)
 class VirtualChannelClasses:
-    """Partition of a physical channel's virtual channels into classes."""
+    """Partition of a physical channel's virtual channels into classes.
+
+    ``escape_classes`` is the dateline sub-partition of the escape
+    channels used on wrapping topologies: a ``(class0, class1)`` pair of
+    disjoint VC tuples covering ``escape_vcs`` exactly.  Messages request
+    class 0 until their route has crossed the dateline of the escaping
+    dimension, class 1 afterwards.  ``None`` (meshes) means the escape
+    pool is undivided.
+    """
 
     adaptive_vcs: Tuple[int, ...]
     escape_vcs: Tuple[int, ...]
+    escape_classes: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None
 
     def __post_init__(self) -> None:
         overlap = set(self.adaptive_vcs) & set(self.escape_vcs)
         if overlap:
             raise ValueError(f"virtual channels {sorted(overlap)} assigned to two classes")
+        if self.escape_classes is not None:
+            class0, class1 = self.escape_classes
+            if not class0 or not class1:
+                raise ValueError("both dateline escape classes need at least one VC")
+            if sorted(class0 + class1) != sorted(self.escape_vcs):
+                raise ValueError(
+                    "dateline escape classes must partition the escape VCs: "
+                    f"{class0} + {class1} != {self.escape_vcs}"
+                )
 
     @property
     def total(self) -> int:

@@ -4,12 +4,24 @@ The oblivious baseline of the paper's Figure 5: a message fully corrects
 its offset in dimension 0 (X) before moving in dimension 1 (Y), and so on.
 Dimension-order routing is deadlock free on a mesh with a single virtual
 channel, so every virtual channel may carry it.
+
+On a torus the wraparound links close a cyclic dependency per dimension,
+so the virtual channels additionally follow the dateline discipline: all
+VCs become escape channels split into two dateline classes, a message
+uses class 0 until its route crosses the dateline link of the dimension
+it is travelling in and class 1 afterwards.  That needs at least two
+virtual channels per physical channel (one per class).
 """
 
 from __future__ import annotations
 
 from repro.network.topology import Topology
-from repro.routing.base import RouteDecision, RoutingAlgorithm, VirtualChannelClasses
+from repro.routing.base import (
+    RouteDecision,
+    RoutingAlgorithm,
+    VirtualChannelClasses,
+    dateline_escape_classes,
+)
 
 __all__ = ["DimensionOrderRouting"]
 
@@ -17,20 +29,16 @@ __all__ = ["DimensionOrderRouting"]
 class DimensionOrderRouting(RoutingAlgorithm):
     """Deterministic XY (dimension-order) routing over a mesh or torus.
 
-    Note: on a torus, dimension-order routing needs either two virtual
-    channels per dimension (dateline scheme) or bubble flow control for
-    deadlock freedom across the wraparound links; this class implements the
-    dateline-free mesh discipline and therefore refuses torus topologies.
+    On a mesh every virtual channel carries the same deterministic
+    relation.  On a torus the channels are declared *escape* channels
+    under the dateline discipline (two classes, minimum two VCs); the
+    allocator then draws from the class matching the message's dateline
+    state, which is exactly the classic two-VC torus scheme.
     """
 
     name = "dimension-order"
 
     def __init__(self, topology: Topology) -> None:
-        if topology.wraps:
-            raise ValueError(
-                "DimensionOrderRouting supports meshes only; wraparound links "
-                "need a dateline virtual-channel discipline"
-            )
         self._topology = topology
 
     @property
@@ -40,10 +48,22 @@ class DimensionOrderRouting(RoutingAlgorithm):
 
     @property
     def min_virtual_channels(self) -> int:
-        return 1
+        # A torus needs one VC per dateline class.
+        return 2 if self._topology.wraps else 1
 
     def vc_classes(self, vcs_per_port: int) -> VirtualChannelClasses:
         self.validate(vcs_per_port)
+        if self._topology.wraps:
+            # Every channel is an escape channel of the dateline
+            # subfunction; allocation flows entirely through the escape
+            # branch, selecting from the class the message's dateline
+            # mask dictates.
+            escape = tuple(range(vcs_per_port))
+            return VirtualChannelClasses(
+                adaptive_vcs=(),
+                escape_vcs=escape,
+                escape_classes=dateline_escape_classes(escape),
+            )
         # Every virtual channel follows the same deterministic relation, so
         # they are all "adaptive class" channels with no reserved escapes.
         return VirtualChannelClasses(
@@ -52,4 +72,9 @@ class DimensionOrderRouting(RoutingAlgorithm):
 
     def decide(self, current: int, destination: int) -> RouteDecision:
         port = self._topology.dimension_order_port(current, destination)
+        if self._topology.wraps:
+            # All VCs are escape channels: the adaptive branch must not
+            # offer candidates, or headers would bypass the dateline
+            # class selection.
+            return RouteDecision(adaptive_ports=(), escape_port=port)
         return RouteDecision(adaptive_ports=(port,), escape_port=port)

@@ -40,6 +40,8 @@ __all__ = [
     "spec_path",
     "sweep_study",
     "table_storage_study",
+    "torus3d_adaptivity_study",
+    "torus_tornado_study",
     "workload_allreduce_study",
     "workload_llm_decode_study",
 ]
@@ -278,6 +280,91 @@ def es_programming_study(
     )
 
 
+# -- torus studies ----------------------------------------------------------------
+
+
+def torus_tornado_study(
+    base_config: Optional[SimulationConfig] = None,
+    loads: Sequence[float] = (0.2, 0.4),
+    name: str = "torus_tornado",
+) -> Study:
+    """Tornado traffic on a 2-D torus: the classic wraparound stressor.
+
+    Tornado sends every node to the one ``extent // 2`` hops further
+    around its own ring, so minimal routes lean maximally on the
+    wraparound links -- the adversarial case for the dateline escape
+    discipline, which every route with a crossing exercises.  Compares
+    Duato's fully adaptive routing against plain dimension-order, both
+    running over the two dateline escape classes.
+    """
+    return Study(
+        name=name,
+        title="Tornado on a torus - adaptivity over the dateline discipline",
+        base=_base_dict(
+            base_config,
+            torus=True,
+            num_escape_vcs=2,
+            traffic="tornado",
+            pipeline="la-proud",
+        ),
+        axes=(
+            Axis(field="normalized_load", values=tuple(loads), label="load"),
+            Axis(
+                name="router",
+                variants=(
+                    Variant(name="adaptive", overrides={"routing": "duato"}),
+                    Variant(name="dor", overrides={"routing": "dimension-order"}),
+                ),
+            ),
+        ),
+        report=Report(
+            reporter="variant-grid", options={"per_variant": ["latency", "saturated"]}
+        ),
+    )
+
+
+def torus3d_adaptivity_study(
+    base_config: Optional[SimulationConfig] = None,
+    dims: Tuple[int, int, int] = (3, 3, 3),
+    loads: Sequence[float] = (0.15, 0.3),
+    z_link_delay: int = 2,
+    name: str = "torus3d_adaptivity",
+) -> Study:
+    """Uniform traffic on a 3-D torus whose vertical links are slow.
+
+    Models a stacked-die part: the ``torus3d`` topology with
+    per-dimension ``link_delays`` makes the Z (through-silicon-via)
+    links ``z_link_delay`` cycles against 1 in plane.  Adaptive routing
+    can spread load around the slow dimension's congestion while
+    dimension-order cannot, which is what the variant pair measures.
+    """
+    return Study(
+        name=name,
+        title="3-D torus with slow Z links - adaptivity comparison",
+        base=_base_dict(
+            base_config,
+            mesh_dims=tuple(dims),
+            topology="torus3d",
+            num_escape_vcs=2,
+            link_delays=(1, 1, z_link_delay),
+            pipeline="la-proud",
+        ),
+        axes=(
+            Axis(field="normalized_load", values=tuple(loads), label="load"),
+            Axis(
+                name="router",
+                variants=(
+                    Variant(name="adaptive", overrides={"routing": "duato"}),
+                    Variant(name="dor", overrides={"routing": "dimension-order"}),
+                ),
+            ),
+        ),
+        report=Report(
+            reporter="variant-grid", options={"per_variant": ["latency", "saturated"]}
+        ),
+    )
+
+
 # -- closed-loop workload studies -------------------------------------------------
 
 
@@ -473,6 +560,18 @@ def _builtin_figure7() -> Study:
 def _builtin_campaign() -> Study:
     """Tiny-scale full campaign suite."""
     return campaign_study(SimulationConfig.tiny())
+
+
+@register("study", "torus_tornado")
+def _builtin_torus_tornado() -> Study:
+    """Tiny-scale tornado-on-torus study."""
+    return torus_tornado_study(SimulationConfig.tiny(num_escape_vcs=2))
+
+
+@register("study", "torus3d_adaptivity")
+def _builtin_torus3d_adaptivity() -> Study:
+    """Tiny-scale 3-D torus slow-Z adaptivity study."""
+    return torus3d_adaptivity_study(SimulationConfig.tiny(num_escape_vcs=2))
 
 
 @register("study", "workload_allreduce")

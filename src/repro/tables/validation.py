@@ -15,15 +15,23 @@ deploying a table image:
   Duato's methodology only requires this of the *escape* subfunction
   (dimension-order routing here), which is what
   :func:`escape_subfunction_is_deadlock_free` checks.
+* :func:`dateline_channel_dependency_graph` -- the virtual-channel-class
+  aware variant for wrapping topologies: nodes are ``(router, port,
+  dateline class)`` triples and the per-dimension dateline mask a header
+  accumulates along its route selects the class of every dependency, so
+  the check proves the *discipline* acyclic, not just the port relation.
+  :func:`escape_subfunction_is_deadlock_free` dispatches on the
+  topology's actual escape discipline: single-class dimension order on
+  meshes, the dateline classes on tori.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import networkx as nx
 
-from repro.network.topology import LOCAL_PORT, Topology
+from repro.network.topology import LOCAL_PORT, Topology, port_direction
 from repro.routing.providers import dimension_order_provider
 from repro.tables.base import RoutingTable
 
@@ -31,6 +39,7 @@ __all__ = [
     "channel_dependency_graph",
     "check_connectivity",
     "check_minimality",
+    "dateline_channel_dependency_graph",
     "escape_subfunction_is_deadlock_free",
     "is_deadlock_free",
 ]
@@ -171,18 +180,104 @@ def channel_dependency_graph(
     return graph
 
 
-def is_deadlock_free(topology: Topology, table_or_provider) -> bool:
+def dateline_channel_dependency_graph(
+    topology: Topology, table_or_provider
+) -> "nx.DiGraph":
+    """Build the dateline-class-aware channel dependency graph.
+
+    Nodes are ``(router, output port, dateline class)`` triples -- the
+    virtual-channel classes the dateline escape discipline actually
+    allocates from.  Edges follow the per-dimension dateline mask a
+    header accumulates along its route: a message holds channel
+    ``(u, p)`` in the class its *pre-crossing* mask selects for ``p``'s
+    dimension, crossing ``u``'s dateline link (if any) sets that
+    dimension's bit, and the next request at ``v`` reads the updated
+    mask -- exactly the allocation/forward order of the router cores.
+    Reachable ``(node, mask)`` states are enumerated per destination, so
+    adaptive relations (which branch the mask evolution) are handled
+    exactly; masks are bounded by ``2 ** ndims``.
+    """
+    lookup = _lookup_function(table_or_provider)
+    graph = nx.DiGraph()
+    for node, port, _neighbor, _ in topology.links():
+        for dateline_class in (0, 1):
+            graph.add_node((node, port, dateline_class))
+    num_nodes = topology.num_nodes
+    for destination in range(num_nodes):
+        pending = [(node, 0) for node in range(num_nodes) if node != destination]
+        seen = set(pending)
+        while pending:
+            node, mask = pending.pop()
+            for port in lookup(node, destination):
+                if port == LOCAL_PORT:
+                    continue
+                neighbor = topology.neighbor(node, port)
+                if neighbor is None:
+                    continue
+                dimension = port_direction(port)[0]
+                holding = (node, port, (mask >> dimension) & 1)
+                next_mask = mask | topology.dateline_bits(node, port)
+                if neighbor == destination:
+                    continue
+                state = (neighbor, next_mask)
+                if state not in seen:
+                    seen.add(state)
+                    pending.append(state)
+                for next_port in lookup(neighbor, destination):
+                    if next_port == LOCAL_PORT:
+                        continue
+                    if topology.neighbor(neighbor, next_port) is None:
+                        continue
+                    next_dimension = port_direction(next_port)[0]
+                    graph.add_edge(
+                        holding,
+                        (
+                            neighbor,
+                            next_port,
+                            (next_mask >> next_dimension) & 1,
+                        ),
+                    )
+    return graph
+
+
+def is_deadlock_free(
+    topology: Topology, table_or_provider, *, dateline_classes: bool = False
+) -> bool:
     """True when the relation's channel dependency graph is acyclic.
 
     This is the Dally/Seitz condition for routing relations confined to a
     single (virtual-)channel class.  Unrestricted minimal adaptive routing
     on a mesh fails it -- which is exactly why Duato's algorithm adds the
     escape channels checked by :func:`escape_subfunction_is_deadlock_free`.
+    With ``dateline_classes=True`` the test runs over the
+    :func:`dateline_channel_dependency_graph` instead, verifying the
+    two-class dateline discipline (required on wrapping topologies,
+    whose single-class graph is cyclic by construction).
     """
-    graph = channel_dependency_graph(topology, table_or_provider)
+    if dateline_classes:
+        graph = dateline_channel_dependency_graph(topology, table_or_provider)
+    else:
+        graph = channel_dependency_graph(topology, table_or_provider)
     return nx.is_directed_acyclic_graph(graph)
 
 
-def escape_subfunction_is_deadlock_free(topology: Topology) -> bool:
-    """Check the dimension-order escape subfunction used by Duato routing."""
-    return is_deadlock_free(topology, dimension_order_provider(topology))
+def escape_subfunction_is_deadlock_free(
+    topology: Topology, *, dateline_classes: Optional[bool] = None
+) -> bool:
+    """Check the escape subfunction Duato routing actually uses here.
+
+    The escape relation is dimension-order routing; the discipline it
+    runs under depends on the topology, and the check dispatches to
+    match: single-class on meshes, the two dateline classes on wrapping
+    topologies.  Pass ``dateline_classes`` explicitly to override the
+    dispatch -- e.g. ``dateline_classes=False`` on a torus shows the
+    wraparound rings make the *undisciplined* subfunction cyclic, which
+    is exactly why the datelines are required.
+    """
+    if dateline_classes is None:
+        dateline_classes = topology.wraps
+    return is_deadlock_free(
+        topology,
+        dimension_order_provider(topology),
+        dateline_classes=dateline_classes,
+    )

@@ -144,6 +144,13 @@ class Flit:
     #: ``lookahead_node``; typed loosely to avoid a package cycle.
     lookahead_decision: Optional[object] = None
 
+    #: Per-dimension dateline-crossing mask (header flits on tori): bit
+    #: ``d`` is set once the route has traversed dimension ``d``'s
+    #: dateline (wraparound) link, switching the message's escape
+    #: requests in that dimension from dateline class 0 to class 1.
+    #: Always 0 on meshes (their links contribute no dateline bits).
+    dateline_mask: int = 0
+
     #: Bookkeeping used by the simulator, not part of the architectural state.
     hops: int = 0
     #: Cycle this flit was written into the current router's input buffer.

@@ -260,6 +260,50 @@ def test_workload_axis_crosses_the_cube(workload):
         _assert_equivalent(_run(config, *combo), baseline, combo)
 
 
+#: The topology axis: wrapping points crossing the full cube.  The
+#: saturation-load uniform and tornado runs on the 4x4x4 torus are the
+#: acceptance workloads for the dateline escape discipline -- wrap-link
+#: pressure in every dimension, in both cores, under both allocators.
+TORUS_POINTS = {
+    "torus2d-tornado-duato": dict(
+        mesh_dims=(4, 4), torus=True, routing="duato", num_escape_vcs=2,
+        traffic="tornado", normalized_load=0.9,
+    ),
+    "torus2d-uniform-dor": dict(
+        mesh_dims=(4, 4), torus=True, routing="dimension-order",
+        vcs_per_port=2, traffic="uniform", normalized_load=0.6,
+    ),
+    "torus3d-uniform": dict(
+        mesh_dims=(4, 4, 4), topology="torus3d", routing="duato",
+        num_escape_vcs=2, traffic="uniform", normalized_load=1.0,
+        link_delays=(1, 1, 2),
+    ),
+    "torus3d-tornado": dict(
+        mesh_dims=(4, 4, 4), topology="torus3d", routing="duato",
+        num_escape_vcs=2, traffic="tornado", normalized_load=1.0,
+    ),
+}
+
+
+@pytest.mark.parametrize("point", sorted(TORUS_POINTS))
+def test_torus_axis_crosses_the_cube(point):
+    """Every wrapping-topology point reproduces the specification corner
+    bit for bit under all sixteen (kernel, switch, link, core)
+    combinations -- the dateline discipline is mirrored exactly."""
+    config = SimulationConfig(
+        message_length=4, warmup_messages=20, measure_messages=120, seed=9,
+        **TORUS_POINTS[point],
+    )
+    baseline = _run(config, *SCHEDULE_CUBE[0])
+    # Full measured completion is the no-deadlock witness: the run stops
+    # the cycle the last measured message ejects, so warmup stragglers
+    # may legitimately still be in flight.
+    assert baseline.summary.measured == config.measure_messages, point
+    assert baseline.summary.completion_ratio == 1.0, point
+    for combo in SCHEDULE_CUBE[1:]:
+        _assert_equivalent(_run(config, *combo), baseline, combo)
+
+
 def test_config_rejects_unknown_core_mode():
     with pytest.raises(ValueError, match="core"):
         SimulationConfig.tiny(core_mode="holographic")

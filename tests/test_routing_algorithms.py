@@ -42,9 +42,21 @@ def test_dimension_order_decision_and_classes(mesh):
     assert classes.escape_vcs == ()
 
 
-def test_dimension_order_rejects_torus():
+def test_dimension_order_on_torus_uses_dateline_classes():
+    torus = TorusTopology((4, 4))
+    algorithm = DimensionOrderRouting(torus)
+    assert algorithm.min_virtual_channels == 2
     with pytest.raises(ValueError):
-        DimensionOrderRouting(TorusTopology((4, 4)))
+        algorithm.vc_classes(1)  # one VC cannot hold two dateline classes
+    classes = algorithm.vc_classes(4)
+    assert classes.adaptive_vcs == ()
+    assert classes.escape_vcs == (0, 1, 2, 3)
+    assert classes.escape_classes == ((0, 1), (2, 3))
+    # Decisions must flow entirely through the class-aware escape branch.
+    origin = torus.node_id((0, 0))
+    decision = algorithm.decide(origin, torus.node_id((3, 0)))
+    assert decision.adaptive_ports == ()
+    assert decision.escape_port != LOCAL_PORT
 
 
 def test_duato_classes_reserve_escape_channels(mesh):
@@ -86,11 +98,23 @@ def test_duato_with_full_table_matches_economical(mesh):
             assert a.escape_port == b.escape_port
 
 
-def test_duato_rejects_torus_and_zero_escape(mesh):
-    with pytest.raises(ValueError):
-        DuatoFullyAdaptiveRouting(TorusTopology((4, 4)), EconomicalStorageTable(mesh))
+def test_duato_torus_needs_two_escape_vcs(mesh):
+    torus = TorusTopology((4, 4))
+    # One escape VC cannot hold two dateline classes; zero never works.
+    with pytest.raises(ValueError, match="2 escape VCs"):
+        DuatoFullyAdaptiveRouting(torus, EconomicalStorageTable(torus))
     with pytest.raises(ValueError):
         DuatoFullyAdaptiveRouting(mesh, EconomicalStorageTable(mesh), num_escape_vcs=0)
+    algorithm = DuatoFullyAdaptiveRouting(
+        torus, EconomicalStorageTable(torus), num_escape_vcs=2
+    )
+    classes = algorithm.vc_classes(4)
+    assert classes.escape_vcs == (0, 1)
+    assert classes.adaptive_vcs == (2, 3)
+    assert classes.escape_classes == ((0,), (1,))
+    # On a mesh the discipline is off: no dateline classes are declared.
+    on_mesh = DuatoFullyAdaptiveRouting(mesh, EconomicalStorageTable(mesh))
+    assert on_mesh.vc_classes(4).escape_classes is None
 
 
 def test_turn_model_routing_decisions(mesh):

@@ -184,9 +184,22 @@ def test_builders_reject_unknown_names():
         NetworkSimulator(config.variant(injection="bursty"))
 
 
-def test_torus_topology_with_turn_model_unsupported_combination():
-    # Dimension-order escape routing is mesh-only; the simulator must
-    # refuse the unsafe combination instead of silently deadlocking.
-    config = SimulationConfig.tiny(torus=True, routing="duato")
-    with pytest.raises(ValueError):
-        NetworkSimulator(config)
+def test_torus_with_wrap_refusing_routing_fails_at_config_construction():
+    # Regression for the old late-failure path: torus=True with a routing
+    # that cannot be made deadlock free on wraparound links used to pass
+    # config validation and only blow up at NetworkSimulator wiring time.
+    # The cross-field check must now raise at construction, with a
+    # pointed routing x topology x escape-VC message.
+    with pytest.raises(ValueError, match="2 escape VCs"):
+        SimulationConfig.tiny(torus=True, routing="duato", num_escape_vcs=1)
+    with pytest.raises(ValueError, match="turn-model"):
+        SimulationConfig.tiny(torus=True, routing="north-last")
+    with pytest.raises(ValueError, match="dateline"):
+        SimulationConfig.tiny(torus=True, routing="dimension-order", vcs_per_port=1)
+    # The safe combinations construct (and wire) cleanly.
+    config = SimulationConfig.tiny(torus=True, routing="duato", num_escape_vcs=2)
+    NetworkSimulator(config)
+    config3d = SimulationConfig.tiny(
+        mesh_dims=(3, 3, 3), topology="torus3d", num_escape_vcs=2
+    )
+    NetworkSimulator(config3d)

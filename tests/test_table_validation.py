@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.network.topology import MeshTopology
+from repro.network.topology import MeshTopology, Torus3D, TorusTopology
 from repro.routing.providers import (
     dimension_order_provider,
     minimal_adaptive_provider,
@@ -81,6 +81,38 @@ def test_unrestricted_adaptive_routing_has_cyclic_dependencies(mesh):
 
 def test_interval_tree_routing_is_deadlock_free(mesh):
     assert is_deadlock_free(mesh, IntervalRoutingTable(mesh))
+
+
+@pytest.mark.parametrize(
+    "torus", [TorusTopology((4, 4)), Torus3D((4, 4, 4))], ids=["2d", "3d"]
+)
+def test_torus_without_datelines_is_cyclic(torus):
+    # The wraparound rings close a dependency cycle in every dimension
+    # (radix >= 4, so minimal routes chain two channels of a ring);
+    # dimension-order routing alone cannot break it.
+    assert not escape_subfunction_is_deadlock_free(torus, dateline_classes=False)
+    assert not is_deadlock_free(torus, dimension_order_provider(torus))
+
+
+@pytest.mark.parametrize(
+    "torus", [TorusTopology((4, 4)), Torus3D((4, 4, 4))], ids=["2d", "3d"]
+)
+def test_torus_with_datelines_is_deadlock_free(torus):
+    # The two-class dateline discipline breaks every wraparound ring's
+    # cycle; the dispatch picks it automatically because the topology
+    # wraps.
+    assert escape_subfunction_is_deadlock_free(torus)
+    assert is_deadlock_free(
+        torus, dimension_order_provider(torus), dateline_classes=True
+    )
+
+
+def test_mesh_dispatch_stays_single_class(mesh):
+    # On a mesh both disciplines agree -- the dateline mask never sets a
+    # bit, so the class-aware graph is two disconnected copies of the
+    # single-class one.
+    assert escape_subfunction_is_deadlock_free(mesh)
+    assert escape_subfunction_is_deadlock_free(mesh, dateline_classes=True)
 
 
 def test_dependency_graph_structure(mesh):

@@ -1,8 +1,8 @@
-"""Tests for the torus topology (wraparound links)."""
+"""Tests for the torus topologies (wraparound links, datelines, 3-D)."""
 
 import pytest
 
-from repro.network.topology import TorusTopology, port_for
+from repro.network.topology import LOCAL_PORT, Torus3D, TorusTopology, port_for
 
 
 def test_wrap_flag(torus4x4):
@@ -49,3 +49,77 @@ def test_torus_has_twice_the_bisection_of_a_mesh():
 def test_link_count(torus4x4):
     # Every node has 4 outgoing network links on a 2-D torus.
     assert len(list(torus4x4.links())) == 4 * torus4x4.num_nodes
+
+
+def test_dateline_bits_mark_exactly_the_wrap_links(torus4x4):
+    # The dateline of dimension d sits on the wrap link: leaving the
+    # last coordinate in +d or the zeroth in -d sets bit d; every other
+    # hop (and the ejection port) leaves the mask alone.
+    for node in range(torus4x4.num_nodes):
+        assert torus4x4.dateline_bits(node, LOCAL_PORT) == 0
+        x, y = torus4x4.coordinates(node)
+        assert torus4x4.dateline_bits(node, port_for(0, True)) == (
+            1 if x == 3 else 0
+        )
+        assert torus4x4.dateline_bits(node, port_for(0, False)) == (
+            1 if x == 0 else 0
+        )
+        assert torus4x4.dateline_bits(node, port_for(1, True)) == (
+            2 if y == 3 else 0
+        )
+        assert torus4x4.dateline_bits(node, port_for(1, False)) == (
+            2 if y == 0 else 0
+        )
+
+
+def test_each_ring_has_one_dateline_per_direction(torus4x4):
+    # Exactly one link of every unidirectional ring is a dateline --
+    # one class switch per wrap traversal, never two.
+    for dimension in (0, 1):
+        for positive in (True, False):
+            port = port_for(dimension, positive)
+            marked = sum(
+                1
+                for node in range(torus4x4.num_nodes)
+                if torus4x4.dateline_bits(node, port)
+            )
+            # 4 rings of 4 nodes in each dimension of a 4x4 torus.
+            assert marked == 4
+
+
+def test_torus3d_requires_three_dimensions():
+    with pytest.raises(ValueError, match="exactly 3 dimensions"):
+        Torus3D((4, 4))
+    with pytest.raises(ValueError, match="exactly 3 dimensions"):
+        Torus3D((2, 2, 2, 2))
+
+
+def test_torus3d_geometry_matches_generic_torus():
+    cube = Torus3D((4, 4, 4))
+    generic = TorusTopology((4, 4, 4))
+    assert cube.wraps is True
+    assert cube.num_nodes == 64
+    assert cube.radix == 7  # ejection + 2 ports per dimension
+    for node in (0, 21, 63):
+        for port in range(1, cube.radix):
+            assert cube.neighbor(node, port) == generic.neighbor(node, port)
+            assert cube.dateline_bits(node, port) == generic.dateline_bits(
+                node, port
+            )
+
+
+def test_torus3d_registry_entry():
+    from repro.core.config import SimulationConfig
+    from repro.registry import TOPOLOGIES
+
+    config = SimulationConfig(
+        mesh_dims=(4, 4, 4), topology="torus3d", routing="duato",
+        num_escape_vcs=2,
+    )
+    topology = TOPOLOGIES.get("torus3d")(config)
+    assert isinstance(topology, Torus3D)
+    with pytest.raises(ValueError, match="torus3d"):
+        SimulationConfig(
+            mesh_dims=(4, 4), topology="torus3d", routing="duato",
+            num_escape_vcs=2,
+        )
