@@ -1,0 +1,247 @@
+#!/usr/bin/env python
+"""Benchmark: streaming-quantile overhead and knee-refinement economy.
+
+Two measurements back the statistical-rigor layer, written to
+``BENCH_stats.json`` at the repository root:
+
+* **quantile overhead** -- feeding a latency stream through
+  :class:`~repro.stats.latency.RunningStats` with P² p50/p99 trackers,
+  against the plain moments-only collector and against the
+  ``keep_samples=True`` exact path.  The P² estimators hold five markers
+  per quantile instead of the whole sample list (memory-flat at any
+  stream length); the report records the wall-clock cost of that and the
+  estimation error against the exact percentiles.
+* **refinement economy** -- a ``stop.mode="refine"`` load sweep that
+  bisects toward the saturation knee of a mesh, against the fixed load
+  grid that locates the knee to the same tolerance.  The gate is
+  deterministic, not a timing: the refined bracket must enclose the knee
+  within tolerance, using strictly fewer simulated load points than the
+  equivalent fixed grid.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_stats.py                # full (16x16)
+    PYTHONPATH=src python benchmarks/bench_stats.py --scale smoke  # CI-sized (8x8)
+
+The refinement gates (knee bracketed, fewer points than the fixed grid)
+always apply; ``--max-overhead`` optionally gates the streaming-tracker
+slowdown ratio for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.core.config import SimulationConfig
+from repro.exec.backend import SerialBackend
+from repro.scenario.builtin import refine_sweep_study
+from repro.scenario.runner import run_study
+from repro.stats.latency import RunningStats
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+QUANTILES = (0.5, 0.99)
+
+
+def _quantile_overhead(samples: int, seed: int = 7) -> Dict[str, object]:
+    """Time one latency stream through the three collector shapes."""
+    rng = random.Random(seed)
+    values = [rng.expovariate(1.0 / 80.0) + 20.0 for _ in range(samples)]
+
+    plain = RunningStats()
+    start = time.perf_counter()
+    for value in values:
+        plain.add(value)
+    plain_seconds = time.perf_counter() - start
+
+    streaming = RunningStats(quantiles=QUANTILES)
+    start = time.perf_counter()
+    for value in values:
+        streaming.add(value)
+    streaming_seconds = time.perf_counter() - start
+
+    exact = RunningStats(keep_samples=True)
+    start = time.perf_counter()
+    for value in values:
+        exact.add(value)
+    exact_p50 = exact.percentile(0.5)
+    exact_p99 = exact.percentile(0.99)
+    exact_seconds = time.perf_counter() - start
+
+    def error_pct(estimate: float, truth: float) -> float:
+        return abs(estimate - truth) / truth * 100.0 if truth else 0.0
+
+    return {
+        "samples": samples,
+        "plain_seconds": round(plain_seconds, 4),
+        "streaming_seconds": round(streaming_seconds, 4),
+        "exact_seconds": round(exact_seconds, 4),
+        # Cost of the five-marker trackers over the bare moments loop.
+        "overhead_ratio": round(streaming_seconds / plain_seconds, 3),
+        "p50_error_pct": round(error_pct(streaming.quantile(0.5), exact_p50), 3),
+        "p99_error_pct": round(error_pct(streaming.quantile(0.99), exact_p99), 3),
+    }
+
+
+def _refine_economy(
+    mesh: Tuple[int, int], loads: Tuple[float, float], tolerance: float, smoke: bool
+) -> Dict[str, object]:
+    """Run the knee-seeking sweep and compare against the fixed grid.
+
+    Transpose traffic under dimension-order routing is the curve with a
+    pronounced knee inside the swept span (adaptive routing on uniform
+    traffic pushes its knee past the bisection bound at these run
+    lengths); the measured-message count is sized so the backlog past
+    the knee actually trips the latency-explosion detector.
+    """
+    base = SimulationConfig(
+        mesh_dims=mesh,
+        traffic="transpose",
+        routing="dimension-order",
+        message_length=20,
+        warmup_messages=150 if smoke else 300,
+        measure_messages=1_200 if smoke else 4_800,
+        seed=7,
+    )
+    study = refine_sweep_study(
+        base, loads=loads, tolerance=tolerance, max_points=0
+    )
+    backend = SerialBackend()
+    start = time.perf_counter()
+    outcome = run_study(study, backend=backend)
+    elapsed = time.perf_counter() - start
+
+    executed: List[Tuple[float, bool]] = [
+        (point.config.normalized_load, result.saturated)
+        for point, result in zip(outcome.points, outcome.results)
+    ]
+    saturated = [load for load, sat in executed if sat]
+    bracket_high = min(saturated) if saturated else None
+    unsaturated_below = [
+        load for load, sat in executed
+        if not sat and bracket_high is not None and load < bracket_high
+    ]
+    bracket_low = max(unsaturated_below) if unsaturated_below else None
+    knee_bracketed = (
+        bracket_low is not None
+        and bracket_high is not None
+        and bracket_high - bracket_low <= tolerance + 1e-12
+    )
+    # A fixed grid locating the knee to the same resolution must step the
+    # whole swept span at the tolerance.
+    span = max(loads) - min(loads)
+    fixed_grid_points = int(round(span / tolerance)) + 1
+    refine_points = len(executed)
+    return {
+        "mesh": "x".join(str(k) for k in mesh),
+        "loads": list(loads),
+        "tolerance": tolerance,
+        "seconds": round(elapsed, 2),
+        "simulations_run": backend.simulations_run,
+        "executed_loads": [round(load, 6) for load, _ in executed],
+        "bracket_low": bracket_low,
+        "bracket_high": bracket_high,
+        "knee_bracketed": knee_bracketed,
+        "refine_points": refine_points,
+        "fixed_grid_points": fixed_grid_points,
+        "points_saved": fixed_grid_points - refine_points,
+    }
+
+
+def run_benchmark(smoke: bool = False) -> Dict[str, object]:
+    """Run both measurements; returns the JSON report."""
+    samples = 50_000 if smoke else 400_000
+    overhead = _quantile_overhead(samples)
+    print(
+        f"quantiles: n={overhead['samples']} plain={overhead['plain_seconds']}s "
+        f"streaming={overhead['streaming_seconds']}s "
+        f"(x{overhead['overhead_ratio']}) "
+        f"p50 err={overhead['p50_error_pct']}% p99 err={overhead['p99_error_pct']}%"
+    )
+    mesh = (8, 8) if smoke else (16, 16)
+    tolerance = 0.1 if smoke else 0.05
+    refine = _refine_economy(mesh, (0.1, 0.9), tolerance, smoke)
+    print(
+        f"refine: mesh={refine['mesh']} knee in "
+        f"[{refine['bracket_low']}, {refine['bracket_high']}] "
+        f"({refine['refine_points']} points vs {refine['fixed_grid_points']} "
+        f"fixed-grid, {refine['seconds']}s)"
+    )
+    return {
+        "benchmark": "stats",
+        "scale": "smoke" if smoke else "full",
+        "seed": 7,
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quantile_overhead": overhead,
+        "refine": refine,
+        "summary": {
+            "overhead_ratio": overhead["overhead_ratio"],
+            "p99_error_pct": overhead["p99_error_pct"],
+            "knee_bracketed": refine["knee_bracketed"],
+            "refine_points": refine["refine_points"],
+            "fixed_grid_points": refine["fixed_grid_points"],
+            "refine_beats_fixed_grid": (
+                refine["refine_points"] < refine["fixed_grid_points"]
+            ),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "full"),
+        default="full",
+        help="smoke: CI-sized 8x8 refinement; full: 16x16 (default)",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit non-zero if the streaming-tracker slowdown over the "
+        "plain moments loop exceeds RATIO",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_stats.json"),
+        metavar="FILE",
+        help="where to write the JSON report (default: repo-root BENCH_stats.json)",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmark(smoke=args.scale == "smoke")
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {output}")
+    summary = report["summary"]
+    if not summary["knee_bracketed"]:
+        print("ERROR: refinement failed to bracket the saturation knee", file=sys.stderr)
+        return 1
+    if not summary["refine_beats_fixed_grid"]:
+        print(
+            f"ERROR: refinement used {summary['refine_points']} points, not fewer "
+            f"than the {summary['fixed_grid_points']}-point fixed grid",
+            file=sys.stderr,
+        )
+        return 1
+    if args.max_overhead is not None and summary["overhead_ratio"] > args.max_overhead:
+        print(
+            f"ERROR: streaming-quantile overhead {summary['overhead_ratio']}x "
+            f"exceeded the {args.max_overhead}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -151,6 +151,11 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--warmup", type=int, default=150,
                         help="warm-up messages excluded from statistics")
     parser.add_argument("--seed", type=int, default=1, help="master random seed")
+    parser.add_argument("--replications", type=int, default=1,
+                        help="seed-offset replicate runs per point; >1 reports "
+                             "means with 95%% confidence intervals")
+    parser.add_argument("--seed-stride", type=int, default=1,
+                        help="seed increment between consecutive replicates")
 
 
 def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
@@ -170,6 +175,8 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
         measure_messages=args.messages,
         warmup_messages=args.warmup,
         seed=args.seed,
+        replications=args.replications,
+        seed_stride=args.seed_stride,
     )
 
 

@@ -157,6 +157,16 @@ class SimulationConfig:
     seed: int = 1
     #: Retain per-message latency samples (enables percentiles).
     keep_samples: bool = False
+    #: Seed-offset replicate runs per point.  1 (the default) is a single
+    #: run; larger values fan the point into ``replications`` runs at
+    #: seeds ``seed, seed + seed_stride, ...`` when submitted through an
+    #: :class:`~repro.exec.backend.ExecutionBackend`, which merges them
+    #: into one result with confidence intervals (see
+    #: :mod:`repro.stats.confidence`).  Each replicate occupies its own
+    #: cache slot, shared with plain single-seed runs at the same seed.
+    replications: int = 1
+    #: Seed increment between consecutive replicates.
+    seed_stride: int = 1
 
     def __post_init__(self) -> None:
         # Normalize sequence fields to tuples so every construction path
@@ -203,6 +213,12 @@ class SimulationConfig:
             raise ValueError("workload_group cannot be negative (0 = all nodes)")
         if self.workload_compute < 0:
             raise ValueError("workload_compute cannot be negative")
+        if self.replications < 1:
+            raise ValueError("replications must be at least 1")
+        if self.seed_stride < 1:
+            # A zero stride would run the same seed repeatedly and report
+            # a spurious zero-width confidence interval.
+            raise ValueError("seed_stride must be at least 1")
         self.validate()
 
     def validate(self) -> None:
@@ -271,6 +287,27 @@ class SimulationConfig:
     def variant(self, **overrides) -> "SimulationConfig":
         """A copy of this configuration with selected fields replaced."""
         return replace(self, **overrides)
+
+    def replicate_configs(self) -> Tuple["SimulationConfig", ...]:
+        """The single-seed configurations this point fans out into.
+
+        ``(self,)`` when ``replications == 1``; otherwise one copy per
+        replicate at seeds ``seed + k * seed_stride`` with
+        ``replications``/``seed_stride`` normalized back to 1, so each
+        replicate is an ordinary single-run cache slot -- identical to
+        (and shared with) a plain run at that seed.
+        """
+        if self.replications == 1:
+            return (self,)
+        return tuple(
+            replace(
+                self,
+                seed=self.seed + index * self.seed_stride,
+                replications=1,
+                seed_stride=1,
+            )
+            for index in range(self.replications)
+        )
 
     # -- serialization ------------------------------------------------------------
 

@@ -41,6 +41,11 @@ class SimulationResult:
     #: None for open-loop runs and results recorded before this field
     #: existed.
     drain: Optional[Dict[str, object]] = None
+    #: Replication block of a merged multi-seed result (see
+    #: :func:`repro.stats.confidence.merge_replicates`): replicate count,
+    #: seeds, and mean +- Student-t confidence intervals of latency and
+    #: throughput across the replicate means.  None for single-seed runs.
+    replicates: Optional[Dict[str, object]] = None
 
     @property
     def saturated(self) -> bool:
@@ -73,6 +78,7 @@ class SimulationResult:
             "cycles": self.cycles,
             "effective_message_rate": self.effective_message_rate,
             "drain": self.drain,
+            "replicates": self.replicates,
         }
 
     @classmethod
@@ -85,6 +91,7 @@ class SimulationResult:
             cycles=int(data["cycles"]),
             effective_message_rate=float(data.get("effective_message_rate", 0.0)),
             drain=data.get("drain"),
+            replicates=data.get("replicates"),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -100,6 +100,14 @@ class NetworkSimulator:
             raise ValueError(
                 f"unknown kernel mode {kernel_mode!r}; expected one of {KERNEL_MODES}"
             )
+        if config.replications > 1:
+            raise ValueError(
+                "NetworkSimulator runs a single seed; submit configurations "
+                f"with replications={config.replications} through an "
+                "execution backend (repro.exec.backend), which fans them "
+                "into per-seed replicates and merges the results with "
+                "confidence intervals"
+            )
         self._config = config
         self._rng = SimulationRNG(seed=config.seed)
         self._topology = build_topology(config)

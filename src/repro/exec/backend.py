@@ -91,9 +91,37 @@ class ExecutionBackend(ABC):
 
         Cached points are served from disk; only misses are simulated (and
         then stored back).  Duplicate configurations within one batch are
-        simulated once.
+        simulated once.  A configuration with ``replications > 1`` fans
+        out into its seed-offset replicate configurations (each an
+        ordinary single-seed cache slot) and comes back as one merged
+        result carrying confidence intervals (see
+        :func:`repro.stats.confidence.merge_replicates`); the replicates
+        run through the same cache/dedup/parallel path as everything
+        else, so serial and pool backends stay bit-identical.
         """
         configs = list(configs)
+        groups = [config.replicate_configs() for config in configs]
+        if any(len(group) > 1 for group in groups):
+            from repro.stats.confidence import merge_replicates
+
+            flat = [replicate for group in groups for replicate in group]
+            flat_results = self._run_cached(flat)
+            results: List["SimulationResult"] = []
+            offset = 0
+            for config, group in zip(configs, groups):
+                chunk = flat_results[offset : offset + len(group)]
+                offset += len(group)
+                if len(group) == 1:
+                    results.append(chunk[0])
+                else:
+                    results.append(merge_replicates(config, chunk))
+            return results
+        return self._run_cached(configs)
+
+    def _run_cached(
+        self, configs: List["SimulationConfig"]
+    ) -> List["SimulationResult"]:
+        """The cache-lookup/dedup/execute path for single-seed configurations."""
         results: List[Optional["SimulationResult"]] = [None] * len(configs)
         pending_indices: List[int] = []
         if self.cache is not None:

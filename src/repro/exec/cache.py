@@ -62,7 +62,13 @@ __all__ = [
 #: link delays) and the topology provenance can now name ``torus3d``, so
 #: entries written before tori were simulatable are never served as
 #: current.
-CACHE_FORMAT_VERSION = 8
+#: Version 9: configurations grew the ``replications``/``seed_stride``
+#: fields (seed-replicated points with confidence intervals), latency
+#: summaries grew the streaming ``p50_total_latency``/``p99_total_latency``
+#: estimates and results grew the optional ``replicates`` statistics
+#: block, so entries written before the replication layer existed are
+#: never served as current.
+CACHE_FORMAT_VERSION = 9
 
 #: ``*.tmp`` files younger than this many seconds are presumed to belong
 #: to a live concurrent writer and are left alone by :meth:`ResultCache.clear`.

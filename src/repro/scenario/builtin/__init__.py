@@ -17,6 +17,7 @@ the legacy experiment runners -- enforced by the golden tests in
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -36,6 +37,8 @@ __all__ = [
     "lookahead_study",
     "message_length_study",
     "path_selection_study",
+    "refine_sweep_study",
+    "replicated_lookahead_study",
     "single_run_study",
     "spec_path",
     "sweep_study",
@@ -277,6 +280,62 @@ def es_programming_study(
         title="Figure 7 - economical-storage table programming (North-Last)",
         analytic="es-programming",
         options={"mesh_extent": mesh_extent, "node_coords": list(node_coords)},
+    )
+
+
+# -- statistically rigorous studies -----------------------------------------------
+
+
+def replicated_lookahead_study(
+    base_config: Optional[SimulationConfig] = None,
+    replications: int = 5,
+    seed_stride: int = 1,
+    traffic_patterns: Sequence[str] = ("uniform", "transpose"),
+    loads: Sequence[float] = (0.1, 0.3, 0.5),
+    name: str = "figure5_replicated",
+) -> Study:
+    """Figure 5 with seed-replicated points and 95% CI columns.
+
+    Every grid point fans out into ``replications`` runs at seeds
+    ``seed, seed + seed_stride, ...`` through the execution backend;
+    the reference-relative rows gain per-variant replicate counts and
+    latency/throughput CI half-width columns (see
+    :func:`repro.scenario.reporters.replication_columns`).
+    """
+    study = lookahead_study(base_config, traffic_patterns=traffic_patterns, loads=loads)
+    return replace(
+        study,
+        name=name,
+        title="Figure 5 (replicated) - look-ahead comparison with confidence intervals",
+        base=_base_dict(
+            base_config, replications=replications, seed_stride=seed_stride
+        ),
+    )
+
+
+def refine_sweep_study(
+    base_config: Optional[SimulationConfig] = None,
+    loads: Sequence[float] = (0.1, 0.9),
+    tolerance: float = 0.05,
+    max_points: int = 12,
+    replications: int = 1,
+    name: str = "sweep_refine",
+) -> Study:
+    """Knee-seeking load sweep: bisect toward the saturation knee.
+
+    The declared ``loads`` are only the coarse bracket; ``mode="refine"``
+    bisects the load axis between the highest unsaturated and lowest
+    saturated points until the bracket is within ``tolerance`` or
+    ``max_points`` loads have been evaluated.  Reported through the
+    ``confidence`` reporter so replicated runs print mean +- CI rows.
+    """
+    return Study(
+        name=name,
+        title="Saturation-knee refinement sweep",
+        base=_base_dict(base_config, replications=replications),
+        axes=(Axis(field="normalized_load", values=tuple(loads), label="load"),),
+        stop=StopPolicy(mode="refine", tolerance=tolerance, max_points=max_points),
+        report=Report(reporter="confidence"),
     )
 
 
@@ -560,6 +619,36 @@ def _builtin_figure7() -> Study:
 def _builtin_campaign() -> Study:
     """Tiny-scale full campaign suite."""
     return campaign_study(SimulationConfig.tiny())
+
+
+@register("study", "figure5_replicated")
+def _builtin_figure5_replicated() -> Study:
+    """Tiny-scale replicated Figure 5 study (5 seeds per point)."""
+    return replicated_lookahead_study(SimulationConfig.tiny())
+
+
+@register("study", "sweep_refine")
+def _builtin_sweep_refine() -> Study:
+    """Knee-refinement sweep on the curve with a knee inside the bracket.
+
+    Transpose under dimension-order routing on an 8x8 mesh saturates
+    around load 0.65 at this run length, so the (0.2, 1.0) coarse
+    bracket genuinely bisects (4x4 tiny-scale runs drain everything the
+    budget offers and never trip the saturation detector).
+    """
+    return refine_sweep_study(
+        SimulationConfig.tiny(
+            mesh_dims=(8, 8),
+            traffic="transpose",
+            routing="dimension-order",
+            message_length=20,
+            warmup_messages=150,
+            measure_messages=1_200,
+        ),
+        loads=(0.2, 1.0),
+        tolerance=0.2,
+        max_points=8,
+    )
 
 
 @register("study", "torus_tornado")

@@ -23,14 +23,41 @@ from repro.registry import register
 from repro.scenario.spec import Study, StudyPoint
 
 __all__ = [
+    "confidence_reporter",
     "drain_reporter",
     "grouped_by_value_coords",
     "paired_improvement_reporter",
     "reference_relative_reporter",
+    "replication_columns",
     "summary_reporter",
     "sweep_reporter",
     "variant_grid_reporter",
 ]
+
+
+def replication_columns(
+    result: SimulationResult, prefix: str = ""
+) -> Dict[str, object]:
+    """Confidence-interval columns of a replicated result (else empty).
+
+    For a result merged from ``replications`` seed-offset runs (see
+    :func:`repro.stats.confidence.merge_replicates`) returns the
+    replicate count plus the latency/throughput CI half-widths, named
+    ``{prefix}n`` / ``{prefix}latency_ci95`` / ``{prefix}throughput_ci95``
+    (the ``95`` tracks the block's confidence level).  Single-seed
+    results produce no columns, so unreplicated studies keep their
+    legacy row layouts byte for byte.
+    """
+    block = result.replicates
+    if not block:
+        return {}
+    tag = f"ci{round(float(block.get('level', 0.95)) * 100)}"
+    columns: Dict[str, object] = {f"{prefix}n": block.get("count", 0)}
+    for metric in ("latency", "throughput"):
+        interval = block.get(metric)
+        if interval:
+            columns[f"{prefix}{metric}_{tag}"] = interval["half_width"]
+    return columns
 
 
 def grouped_by_value_coords(
@@ -70,7 +97,12 @@ def summary_reporter(
     study: Study, points: Sequence[StudyPoint], results: Sequence[SimulationResult]
 ) -> List[Dict[str, object]]:
     """One flat summary row per executed point (the ``run`` CLI layout)."""
-    return [result.as_dict() for result in results]
+    rows: List[Dict[str, object]] = []
+    for result in results:
+        row = result.as_dict()
+        row.update(replication_columns(result))
+        rows.append(row)
+    return rows
 
 
 @register("reporter", "sweep")
@@ -78,16 +110,18 @@ def sweep_reporter(
     study: Study, points: Sequence[StudyPoint], results: Sequence[SimulationResult]
 ) -> List[Dict[str, object]]:
     """One latency/load row per point (the ``sweep`` CLI layout)."""
-    return [
-        {
+    rows: List[Dict[str, object]] = []
+    for point, result in zip(points, results):
+        row: Dict[str, object] = {
             "load": point.config.normalized_load,
             "latency": result.latency_label(),
             "network_latency": result.summary.avg_network_latency,
             "throughput": result.summary.throughput,
             "saturated": result.saturated,
         }
-        for point, result in zip(points, results)
-    ]
+        row.update(replication_columns(result))
+        rows.append(row)
+    return rows
 
 
 @register("reporter", "drain")
@@ -142,6 +176,7 @@ def variant_grid_reporter(
                 row[f"{variant}_saturated"] = result.saturated
             if "label" in per_variant:
                 row[f"{variant}_label"] = result.latency_label()
+            row.update(replication_columns(result, prefix=f"{variant}_"))
         rows.append(row)
     return rows
 
@@ -171,11 +206,13 @@ def reference_relative_reporter(
         row: Dict[str, object] = dict(coords)
         row[f"{prefix}_latency"] = ref.latency
         row[f"{prefix}_saturated"] = ref.saturated
+        row.update(replication_columns(ref, prefix=f"{prefix}_"))
         for variant, result in by_variant.items():
             if variant == reference:
                 continue
             row[f"{variant}_latency"] = result.latency
             row[f"{variant}_saturated"] = result.saturated
+            row.update(replication_columns(result, prefix=f"{variant}_"))
             if ref.latency > 0:
                 increase = 100.0 * (result.latency - ref.latency) / ref.latency
             else:
@@ -217,5 +254,36 @@ def paired_improvement_reporter(
         row[f"{baseline}_latency"] = base.latency
         row["pct_improvement"] = improvement
         row["saturated"] = better.saturated or base.saturated
+        rows.append(row)
+    return rows
+
+
+@register("reporter", "confidence")
+def confidence_reporter(
+    study: Study, points: Sequence[StudyPoint], results: Sequence[SimulationResult]
+) -> List[Dict[str, object]]:
+    """One row per point with replicate counts and mean +- CI statistics.
+
+    The statistically-rigorous sweep layout: axis coordinates, replicate
+    count ``n``, mean latency with its CI half-width and across-replicate
+    standard deviation, mean throughput with its half-width, the p50/p99
+    latency estimates and the saturation flag.  Single-seed points print
+    ``n=1`` with zero half-widths.
+    """
+    rows: List[Dict[str, object]] = []
+    for point, result in zip(points, results):
+        block = result.replicates or {}
+        latency_ci = block.get("latency") or {}
+        throughput_ci = block.get("throughput") or {}
+        row: Dict[str, object] = {c.label: c.value for c in point.coords}
+        row["n"] = block.get("count", 1)
+        row["latency"] = result.latency
+        row["latency_ci95"] = latency_ci.get("half_width", 0.0)
+        row["latency_std"] = latency_ci.get("std", 0.0)
+        row["throughput"] = result.summary.throughput
+        row["throughput_ci95"] = throughput_ci.get("half_width", 0.0)
+        row["p50"] = result.summary.p50_total_latency
+        row["p99"] = result.summary.p99_total_latency
+        row["saturated"] = result.saturated
         rows.append(row)
     return rows

@@ -24,7 +24,7 @@ from repro.core.results import (
 )
 from repro.exec.backend import ExecutionBackend, SerialBackend
 from repro.registry import ANALYTICS, REPORTERS, load_plugin
-from repro.scenario.spec import Study, StudyPoint
+from repro.scenario.spec import Axis, Coord, Scenario, StopPolicy, Study, StudyPoint
 
 __all__ = ["StudyResult", "run_study"]
 
@@ -80,18 +80,121 @@ def _reference_result(
     )
 
 
+def _step_saturated(
+    study: Study,
+    stop: StopPolicy,
+    batch: Sequence[StudyPoint],
+    batch_results: Sequence[SimulationResult],
+) -> bool:
+    """Whether one stop-axis step counts as saturated under ``stop``.
+
+    ``mode="reference"`` (and ``mode="refine"`` with a reference set)
+    asks the reference variant; otherwise any saturated scenario in the
+    batch counts.
+    """
+    if stop.mode == "reference" or (stop.mode == "refine" and stop.reference):
+        return _reference_result(study, batch, batch_results, stop.reference).saturated
+    return any(result.saturated for result in batch_results)
+
+
+def _point_at(point: StudyPoint, stop_axis: Axis, value: float) -> StudyPoint:
+    """A copy of ``point`` moved to ``value`` on the stop axis.
+
+    Rebuilds the coordinate tuple, the scenario name (the same
+    ``label=value`` join :meth:`Study.expand` uses) and the configuration,
+    so refinement points are indistinguishable from expanded ones.
+    """
+    label = stop_axis.report_label
+    coords = tuple(
+        Coord(label, value, False) if c.label == label and not c.is_variant else c
+        for c in point.coords
+    )
+    overrides = dict(point.scenario.overrides)
+    overrides[stop_axis.field] = value
+    name = "/".join(f"{c.label}={c.value}" for c in coords)
+    return StudyPoint(
+        scenario=Scenario(name=name, overrides=overrides),
+        coords=coords,
+        config=point.config.variant(**{stop_axis.field: value}),
+    )
+
+
+def _refine_group(
+    study: Study,
+    stop: StopPolicy,
+    stop_axis: Axis,
+    group: List[StudyPoint],
+    inner_count: int,
+    backend: ExecutionBackend,
+    executed: List[StudyPoint],
+    results: List[SimulationResult],
+) -> None:
+    """Bisect one group's stop axis toward the saturation knee.
+
+    The declared stop-axis values are the coarse seed grid, evaluated as
+    one ``run_configs`` wave; each bisection step simulates the midpoint
+    batch of the tightest (unsaturated, saturated) value bracket until
+    the bracket is within ``stop.tolerance`` or ``stop.max_points``
+    stop-axis steps (seed grid included) have been evaluated.  Every wave
+    goes through ``backend.run_configs`` and the executed order depends
+    only on the saturation flags, so serial and pool backends produce
+    byte-identical rows.
+    """
+    group_results = backend.run_configs([p.config for p in group])
+    executed.extend(group)
+    results.extend(group_results)
+    steps: List[Tuple[float, List[StudyPoint], List[SimulationResult]]] = []
+    for step_start in range(0, len(group), inner_count):
+        batch = group[step_start : step_start + inner_count]
+        batch_results = group_results[step_start : step_start + inner_count]
+        value = float(batch[0].coord(stop_axis.report_label))
+        steps.append((value, batch, batch_results))
+    evaluated = len(steps)
+    saturated_values = []
+    unsaturated_values = []
+    for value, batch, batch_results in steps:
+        if _step_saturated(study, stop, batch, batch_results):
+            saturated_values.append(value)
+        else:
+            unsaturated_values.append(value)
+    if not saturated_values:
+        return  # The knee lies above the declared grid; nothing to bisect.
+    high = min(saturated_values)
+    below = [value for value in unsaturated_values if value < high]
+    if not below:
+        return  # The knee lies below the declared grid.
+    low = max(below)
+    template = steps[0][1]
+    while high - low > stop.tolerance and (
+        stop.max_points == 0 or evaluated < stop.max_points
+    ):
+        mid = (low + high) / 2.0
+        batch = [_point_at(point, stop_axis, mid) for point in template]
+        batch_results = backend.run_configs([p.config for p in batch])
+        executed.extend(batch)
+        results.extend(batch_results)
+        evaluated += 1
+        if _step_saturated(study, stop, batch, batch_results):
+            high = mid
+        else:
+            low = mid
+
+
 def _run_grid_with_stop(
     study: Study, points: List[StudyPoint], backend: ExecutionBackend
 ) -> Tuple[List[StudyPoint], List[SimulationResult]]:
     """Walk the grid along the stop axis, truncating at saturation.
 
     The stop axis is the last value axis; the (variant) axes after it form
-    the per-step batch.  ``mode="any"`` walks steps in waves of
-    ``backend.wave_size`` (the load-sweep semantics: a parallel wave may
-    simulate -- and cache -- a few points past saturation, but the
-    returned points always truncate at the first saturated step);
-    ``mode="reference"`` simulates one batch per step and stops when the
-    reference variant saturates.
+    the per-step batch.  ``mode="any"`` and ``mode="reference"`` walk
+    steps in speculative waves of ``backend.wave_size`` (a parallel wave
+    may simulate -- and cache -- a few points past saturation, but the
+    returned points always truncate at the first stopping step, so the
+    rows are byte-identical to the serial walk); the two modes differ
+    only in which result decides a step (any scenario of the batch versus
+    the reference variant).  ``mode="refine"`` evaluates the declared
+    grid as one wave and then bisects toward the saturation knee (see
+    :func:`_refine_group`).
     """
     stop = study.stop
     assert stop is not None
@@ -107,31 +210,26 @@ def _run_grid_with_stop(
     results: List[SimulationResult] = []
     for group_start in range(0, len(points), per_group):
         group = points[group_start : group_start + per_group]
-        if stop.mode == "reference":
-            for step_start in range(0, len(group), inner_count):
-                batch = group[step_start : step_start + inner_count]
-                batch_results = backend.run_configs([p.config for p in batch])
+        if stop.mode == "refine":
+            _refine_group(
+                study, stop, stop_axis, group, inner_count, backend, executed, results
+            )
+            continue
+        wave_points = max(1, backend.wave_size) * inner_count
+        stopped = False
+        for wave_start in range(0, len(group), wave_points):
+            wave = group[wave_start : wave_start + wave_points]
+            wave_results = backend.run_configs([p.config for p in wave])
+            for step_start in range(0, len(wave), inner_count):
+                batch = wave[step_start : step_start + inner_count]
+                batch_results = wave_results[step_start : step_start + inner_count]
                 executed.extend(batch)
                 results.extend(batch_results)
-                reference = _reference_result(study, batch, batch_results, stop.reference)
-                if reference.saturated:
+                if _step_saturated(study, stop, batch, batch_results):
+                    stopped = True
                     break
-        else:  # mode == "any"
-            wave_points = max(1, backend.wave_size) * inner_count
-            stopped = False
-            for wave_start in range(0, len(group), wave_points):
-                wave = group[wave_start : wave_start + wave_points]
-                wave_results = backend.run_configs([p.config for p in wave])
-                for step_start in range(0, len(wave), inner_count):
-                    batch = wave[step_start : step_start + inner_count]
-                    batch_results = wave_results[step_start : step_start + inner_count]
-                    executed.extend(batch)
-                    results.extend(batch_results)
-                    if any(result.saturated for result in batch_results):
-                        stopped = True
-                        break
-                if stopped:
-                    break
+            if stopped:
+                break
     return executed, results
 
 

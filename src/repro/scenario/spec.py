@@ -187,32 +187,72 @@ class StopPolicy:
 
     * ``mode="any"``: any scenario of the batch is saturated (the load
       sweep semantics: the saturated point itself is kept so tables can
-      print "Sat." rows); or
+      print "Sat." rows);
     * ``mode="reference"``: the variant named ``reference`` is saturated
       (Figure 5's semantics: the paper only plots loads up to saturation
-      of the reference router).
+      of the reference router); or
+    * ``mode="refine"``: after evaluating the declared (coarse) stop-axis
+      grid, bisect toward the saturation knee -- repeatedly simulate the
+      midpoint of the tightest (unsaturated, saturated) value bracket --
+      until the knee is bracketed within ``tolerance`` or ``max_points``
+      stop-axis steps have been evaluated per group (0 = unbounded).
+      With ``reference`` set, that variant's saturation decides each
+      step, exactly as in ``mode="reference"``.
     """
 
     mode: str = "any"
     reference: str = ""
+    #: Knee-bracket width (in stop-axis units) at which refinement stops.
+    tolerance: float = 0.0
+    #: Stop-axis steps evaluated per group, initial grid included
+    #: (0 = no budget).
+    max_points: int = 0
 
     def __post_init__(self) -> None:
-        if self.mode not in ("any", "reference"):
+        if self.mode not in ("any", "reference", "refine"):
             raise ValueError(
-                f"unknown stop mode {self.mode!r}; expected 'any' or 'reference'"
+                f"unknown stop mode {self.mode!r}; expected 'any', "
+                "'reference' or 'refine'"
             )
         if self.mode == "reference" and not self.reference:
             raise ValueError("stop mode 'reference' needs a reference variant name")
+        if self.mode == "refine":
+            if not self.tolerance > 0.0:
+                raise ValueError(
+                    "stop mode 'refine' needs a positive tolerance (the "
+                    "knee-bracket width, in stop-axis units, at which "
+                    "bisection stops)"
+                )
+            if self.max_points < 0:
+                raise ValueError("max_points cannot be negative (0 = no budget)")
+        else:
+            if self.tolerance:
+                raise ValueError(
+                    f"tolerance only applies to stop mode 'refine', not {self.mode!r}"
+                )
+            if self.max_points:
+                raise ValueError(
+                    f"max_points only applies to stop mode 'refine', not {self.mode!r}"
+                )
 
     def to_dict(self) -> Dict[str, object]:
         data: Dict[str, object] = {"mode": self.mode}
         if self.reference:
             data["reference"] = self.reference
+        if self.mode == "refine":
+            data["tolerance"] = self.tolerance
+            if self.max_points:
+                data["max_points"] = self.max_points
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "StopPolicy":
-        return cls(mode=str(data.get("mode", "any")), reference=str(data.get("reference", "")))
+        return cls(
+            mode=str(data.get("mode", "any")),
+            reference=str(data.get("reference", "")),
+            tolerance=float(data.get("tolerance", 0.0)),
+            max_points=int(data.get("max_points", 0)),
+        )
 
 
 @dataclass(frozen=True)
@@ -333,8 +373,16 @@ class Study:
                 i for i, axis in enumerate(self.axes) if not axis.is_variant
             ]
             if not value_indices:
-                raise ValueError("a stop policy needs at least one value axis to walk")
-            if self.stop.mode == "reference":
+                # Without a value axis there is no stop axis: the runner
+                # would otherwise die deep in the walk with a bare
+                # "max() arg is an empty sequence".
+                raise ValueError(
+                    f"study {self.name!r}: a stop policy needs at least one "
+                    "value axis to walk (the grid has only variant axes)"
+                )
+            if self.stop.mode == "reference" or (
+                self.stop.mode == "refine" and self.stop.reference
+            ):
                 # The walk batches the axes *after* the last value axis per
                 # step, so the reference variant must live there -- catch a
                 # mis-ordered spec now instead of after burning simulations.
@@ -342,11 +390,21 @@ class Study:
                 names = [v.name for axis in inner for v in axis.variants]
                 if self.stop.reference not in names:
                     raise ValueError(
-                        f"stop reference {self.stop.reference!r} must name a "
+                        f"study {self.name!r}: stop reference "
+                        f"{self.stop.reference!r} must name a "
                         "variant on an axis after the last value axis "
                         f"(found none among {names!r}); reorder the axes so "
                         "the variant axis comes last"
                     )
+            if self.stop.mode == "refine":
+                stop_axis = self.axes[value_indices[-1]]
+                for value in stop_axis.values:
+                    if isinstance(value, bool) or not isinstance(value, (int, float)):
+                        raise ValueError(
+                            f"study {self.name!r}: stop mode 'refine' bisects "
+                            f"a numeric axis; axis {stop_axis.report_label!r} "
+                            f"has non-numeric value {value!r}"
+                        )
 
     # -- expansion ------------------------------------------------------------
 

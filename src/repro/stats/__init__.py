@@ -9,17 +9,30 @@ saturation.  This subpackage provides:
 * :class:`~repro.stats.latency.LatencySummary` -- aggregated latency and
   throughput figures;
 * :mod:`repro.stats.saturation` -- the saturation-detection policy used to
-  print "Sat." rows like the paper's Table 4.
+  print "Sat." rows like the paper's Table 4;
+* :mod:`repro.stats.confidence` -- Student-t confidence intervals and the
+  per-seed replicate merge behind ``config.replications``.
 """
 
 from repro.stats.collector import StatsCollector
-from repro.stats.latency import LatencySummary, RunningStats
+from repro.stats.confidence import (
+    ConfidenceInterval,
+    mean_confidence_interval,
+    merge_replicates,
+    t_critical,
+)
+from repro.stats.latency import LatencySummary, P2Quantile, RunningStats
 from repro.stats.saturation import SaturationPolicy, is_saturated
 
 __all__ = [
+    "ConfidenceInterval",
     "LatencySummary",
+    "P2Quantile",
     "RunningStats",
     "SaturationPolicy",
     "StatsCollector",
     "is_saturated",
+    "mean_confidence_interval",
+    "merge_replicates",
+    "t_critical",
 ]

@@ -15,7 +15,11 @@ from repro.stats.latency import LatencySummary, RunningStats
 if TYPE_CHECKING:  # pragma: no cover - typing-only import avoids a package cycle
     from repro.traffic.message import Message
 
-__all__ = ["StatsCollector"]
+__all__ = ["REPORTED_QUANTILES", "StatsCollector"]
+
+#: The total-latency quantiles every run reports (LatencySummary's
+#: ``p50_total_latency``/``p99_total_latency``).
+REPORTED_QUANTILES = (0.5, 0.99)
 
 
 class StatsCollector:
@@ -39,7 +43,12 @@ class StatsCollector:
         self._measured_delivered = 0
         self._measured_flits = 0
         self._order: Dict[int, int] = {}
-        self._total_latency = RunningStats(keep_samples=keep_samples)
+        # p50/p99 ride on streaming P² estimators, so the headline
+        # percentiles survive keep_samples=False (the memory-flat default
+        # on 400k-message runs); with samples retained they are exact.
+        self._total_latency = RunningStats(
+            keep_samples=keep_samples, quantiles=REPORTED_QUANTILES
+        )
         self._network_latency = RunningStats(keep_samples=keep_samples)
         self._hops = RunningStats()
         self._first_measured_delivery: Optional[int] = None
@@ -160,6 +169,8 @@ class StatsCollector:
             cycles=cycles,
             completion_ratio=completion,
             saturated=saturated,
+            p50_total_latency=self._total_latency.quantile(0.5),
+            p99_total_latency=self._total_latency.quantile(0.99),
         )
 
     def __repr__(self) -> str:

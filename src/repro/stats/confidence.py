@@ -1,0 +1,309 @@
+"""Student-t confidence intervals and replicate merging (pure stdlib).
+
+Replicated campaigns fan one grid point into ``config.replications``
+seed-offset runs; this module turns those per-seed results back into one
+:class:`~repro.core.results.SimulationResult` whose summary pools the
+message-level moments (via the order-independent
+:meth:`~repro.stats.latency.RunningStats.merge`) and whose ``replicates``
+block carries mean +- Student-t confidence intervals across the replicate
+means.  The t critical value is computed from the regularized incomplete
+beta function (continued-fraction evaluation plus ``math.lgamma``) and a
+bisection inverse -- no SciPy dependency, deterministic to the last bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+from repro.stats.latency import RunningStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.config import SimulationConfig
+    from repro.core.results import SimulationResult
+
+__all__ = [
+    "CONFIDENCE_LEVEL",
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "merge_replicates",
+    "student_t_cdf",
+    "t_critical",
+]
+
+#: Two-sided confidence level of every reported interval.
+CONFIDENCE_LEVEL = 0.95
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction of the incomplete beta function (Lentz's method)."""
+    max_iterations = 300
+    epsilon = 3e-14
+    tiny = 1e-300
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iterations + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < epsilon:
+            break
+    return h
+
+
+def _regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """I_x(a, b), evaluated from whichever tail converges fast."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log(1.0 - x)
+    )
+    front = math.exp(ln_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def student_t_cdf(t: float, df: int) -> float:
+    """P(T <= t) for Student's t distribution with ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError("the t distribution needs at least one degree of freedom")
+    if t == 0.0:
+        return 0.5
+    # Two-sided tail: P(|T| > |t|) = I_{df/(df+t^2)}(df/2, 1/2).
+    tail = _regularized_incomplete_beta(df / 2.0, 0.5, df / (df + t * t))
+    if t > 0:
+        return 1.0 - 0.5 * tail
+    return 0.5 * tail
+
+
+def t_critical(level: float, df: int) -> float:
+    """The two-sided Student-t critical value: ``P(|T| <= t) = level``.
+
+    ``t_critical(0.95, 9)`` is the familiar 2.262; as ``df`` grows the
+    value approaches the normal 1.96.  Found by bisection on the
+    monotone two-sided tail -- deterministic, no table lookups.
+    """
+    if not 0.0 < level < 1.0:
+        raise ValueError("the confidence level must be strictly between 0 and 1")
+    if df < 1:
+        raise ValueError("the t distribution needs at least one degree of freedom")
+    alpha = 1.0 - level
+
+    def tail(t: float) -> float:
+        return _regularized_incomplete_beta(df / 2.0, 0.5, df / (df + t * t))
+
+    low, high = 0.0, 1.0
+    while tail(high) > alpha:
+        high *= 2.0
+        if high > 1e12:  # pragma: no cover - numerically unreachable
+            break
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if tail(mid) > alpha:
+            low = mid
+        else:
+            high = mid
+        if high - low <= 1e-12 * max(1.0, high):
+            break
+    return 0.5 * (low + high)
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean with its two-sided Student-t confidence half-width."""
+
+    #: Mean of the values.
+    mean: float
+    #: Unbiased sample standard deviation of the values.
+    std: float
+    #: Number of values.
+    count: int
+    #: Two-sided confidence level (e.g. 0.95).
+    level: float
+    #: Half-width of the interval: ``t * std / sqrt(count)``.
+    half_width: float
+
+    @property
+    def lower(self) -> float:
+        """Lower bound of the interval."""
+        return self.mean - self.half_width
+
+    @property
+    def upper(self) -> float:
+        """Upper bound of the interval."""
+        return self.mean + self.half_width
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-compatible dictionary (bounds included for readability)."""
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "count": self.count,
+            "level": self.level,
+            "half_width": self.half_width,
+            "lower": self.lower,
+            "upper": self.upper,
+        }
+
+
+def mean_confidence_interval(
+    values: Sequence[float], level: float = CONFIDENCE_LEVEL
+) -> ConfidenceInterval:
+    """Student-t confidence interval of the mean of ``values``.
+
+    Needs at least two values (one degree of freedom); the half-width
+    shrinks like 1/sqrt(n) as replicates are added.
+    """
+    values = [float(value) for value in values]
+    if len(values) < 2:
+        raise ValueError(
+            "a confidence interval needs at least two values "
+            f"(got {len(values)}); raise config.replications"
+        )
+    stats = RunningStats()
+    for value in values:
+        stats.add(value)
+    half_width = t_critical(level, stats.count - 1) * stats.std / math.sqrt(stats.count)
+    return ConfidenceInterval(
+        mean=stats.mean,
+        std=stats.std,
+        count=stats.count,
+        level=level,
+        half_width=half_width,
+    )
+
+
+def merge_replicates(
+    config: "SimulationConfig", results: Sequence["SimulationResult"]
+) -> "SimulationResult":
+    """Fold per-seed replicate results into one result for ``config``.
+
+    ``results`` are the runs of ``config.replicate_configs()``, in seed
+    order.  The merged summary pools the message-level moments across
+    replicates (weighted means, pooled standard deviation via the
+    order-independent moment merge, max of maxima, summed counts);
+    throughput, completion ratio and the p50/p99 estimates are averaged
+    per replicate; ``saturated`` is true when *any* replicate saturated.
+    The ``replicates`` block records the seeds plus mean +- Student-t
+    confidence intervals (level :data:`CONFIDENCE_LEVEL`) of latency,
+    network latency and throughput across the replicate means -- and of
+    time-to-drain for closed-loop workload runs.  Scalars derived from
+    the configuration alone (``zero_load_latency``,
+    ``effective_message_rate``) and the ``drain`` block come from the
+    first replicate.
+    """
+    from repro.core.results import SimulationResult
+    from repro.stats.latency import LatencySummary
+
+    results = list(results)
+    if not results:
+        raise ValueError("merge_replicates needs at least one replicate result")
+    count = len(results)
+    pooled_total = RunningStats()
+    pooled_network = RunningStats()
+    pooled_hops = RunningStats()
+    for result in results:
+        summary = result.summary
+        measured = summary.measured
+        m2 = summary.std_total_latency**2 * max(0, measured - 1)
+        pooled_total.merge(
+            RunningStats.from_moments(
+                measured,
+                summary.avg_total_latency,
+                m2,
+                maximum=summary.max_total_latency,
+            )
+        )
+        pooled_network.merge(
+            RunningStats.from_moments(measured, summary.avg_network_latency, 0.0)
+        )
+        pooled_hops.merge(RunningStats.from_moments(measured, summary.avg_hops, 0.0))
+
+    def mean_of(values: List[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    cycles = max(result.cycles for result in results)
+    summary = LatencySummary(
+        created=sum(result.summary.created for result in results),
+        delivered=sum(result.summary.delivered for result in results),
+        measured=pooled_total.count,
+        avg_total_latency=pooled_total.mean,
+        avg_network_latency=pooled_network.mean,
+        std_total_latency=pooled_total.std,
+        max_total_latency=pooled_total.maximum,
+        avg_hops=pooled_hops.mean,
+        throughput=mean_of([result.summary.throughput for result in results]),
+        cycles=cycles,
+        completion_ratio=mean_of(
+            [result.summary.completion_ratio for result in results]
+        ),
+        saturated=any(result.saturated for result in results),
+        p50_total_latency=mean_of(
+            [result.summary.p50_total_latency for result in results]
+        ),
+        p99_total_latency=mean_of(
+            [result.summary.p99_total_latency for result in results]
+        ),
+    )
+    block: Dict[str, object] = {
+        "count": count,
+        "seeds": [result.config.seed for result in results],
+        "level": CONFIDENCE_LEVEL,
+        "saturated_count": sum(1 for result in results if result.saturated),
+    }
+    if count >= 2:
+        block["latency"] = mean_confidence_interval(
+            [result.summary.avg_total_latency for result in results]
+        ).as_dict()
+        block["network_latency"] = mean_confidence_interval(
+            [result.summary.avg_network_latency for result in results]
+        ).as_dict()
+        block["throughput"] = mean_confidence_interval(
+            [result.summary.throughput for result in results]
+        ).as_dict()
+        drains = [result.drain for result in results]
+        if all(drain is not None and "time_to_drain" in drain for drain in drains):
+            block["time_to_drain"] = mean_confidence_interval(
+                [float(drain["time_to_drain"]) for drain in drains]
+            ).as_dict()
+    return SimulationResult(
+        config=config,
+        summary=summary,
+        zero_load_latency=results[0].zero_load_latency,
+        cycles=cycles,
+        effective_message_rate=results[0].effective_message_rate,
+        drain=results[0].drain,
+        replicates=block,
+    )

@@ -5,9 +5,133 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from dataclasses import fields as dataclasses_fields
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["LatencySummary", "RunningStats"]
+__all__ = ["LatencySummary", "P2Quantile", "RunningStats"]
+
+
+class P2Quantile:
+    """Streaming quantile estimator (the P² algorithm of Jain & Chlamtac).
+
+    Tracks one quantile with five markers -- O(1) memory and O(1) work per
+    sample -- so p50/p99 stay available on 400,000-message runs without
+    retaining samples.  The first five observations are stored and the
+    estimate is exact until the markers initialize; afterwards marker
+    heights move by parabolic (falling back to linear) prediction.  The
+    update is pure arithmetic on the sample sequence: no randomness, no
+    ambient state, so equal streams always produce equal estimates.
+    """
+
+    __slots__ = ("_fraction", "_initial", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(
+                "a streaming quantile fraction must be strictly between 0 and 1 "
+                "(track minimum/maximum directly for the extremes), got "
+                f"{fraction!r}"
+            )
+        self._fraction = fraction
+        self._initial: List[float] = []
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        #: Desired marker positions and their per-sample growth rates.
+        self._desired: List[float] = []
+        self._rates: Tuple[float, ...] = ()
+
+    @property
+    def fraction(self) -> float:
+        """The quantile being tracked."""
+        return self._fraction
+
+    @property
+    def count(self) -> int:
+        """Samples absorbed so far."""
+        if self._heights:
+            return int(self._positions[-1])
+        return len(self._initial)
+
+    def add(self, value: float) -> None:
+        """Absorb one sample."""
+        if not self._heights:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                p = self._fraction
+                self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+                self._rates = (0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0)
+                self._initial = []
+            return
+        heights = self._heights
+        positions = self._positions
+        # Locate the marker cell the sample falls into, stretching the
+        # extreme markers when it lands outside the current range.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= heights[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        for index in range(5):
+            self._desired[index] += self._rates[index]
+        # Nudge the three interior markers toward their desired positions.
+        for index in range(1, 4):
+            drift = self._desired[index] - positions[index]
+            if (drift >= 1.0 and positions[index + 1] - positions[index] > 1.0) or (
+                drift <= -1.0 and positions[index - 1] - positions[index] < -1.0
+            ):
+                step = 1.0 if drift >= 1.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    heights[index] = self._linear(index, step)
+                positions[index] += step
+
+    def _parabolic(self, index: int, step: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        below = positions[index] - positions[index - 1]
+        above = positions[index + 1] - positions[index]
+        span = positions[index + 1] - positions[index - 1]
+        return heights[index] + (step / span) * (
+            (below + step) * (heights[index + 1] - heights[index]) / above
+            + (above - step) * (heights[index] - heights[index - 1]) / below
+        )
+
+    def _linear(self, index: int, step: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        neighbor = index + int(step)
+        return heights[index] + step * (heights[neighbor] - heights[index]) / (
+            positions[neighbor] - positions[index]
+        )
+
+    @property
+    def value(self) -> float:
+        """The current quantile estimate (0.0 when no samples were seen).
+
+        Exact (nearest-rank, the :meth:`RunningStats.percentile` rule)
+        while fewer than five samples have arrived.
+        """
+        if self._heights:
+            return self._heights[2]
+        if not self._initial:
+            return 0.0
+        ordered = sorted(self._initial)
+        rank = math.ceil(self._fraction * len(ordered))
+        return ordered[min(len(ordered) - 1, max(0, rank - 1))]
+
+    def __repr__(self) -> str:
+        return f"P2Quantile(fraction={self._fraction}, count={self.count}, value={self.value:.2f})"
 
 
 class RunningStats:
@@ -16,18 +140,53 @@ class RunningStats:
     Keeping only the running moments lets the collector absorb hundreds of
     thousands of samples (the paper measures 400,000 messages) without
     storing them, while optional sample retention supports percentiles in
-    smaller runs.
+    smaller runs.  ``quantiles`` attaches one streaming
+    :class:`P2Quantile` estimator per listed fraction, so selected
+    percentiles (p50/p99) stay available without ``keep_samples=True``.
     """
 
-    __slots__ = ("_count", "_mean", "_m2", "_min", "_max", "_samples")
+    __slots__ = ("_count", "_mean", "_m2", "_min", "_max", "_samples", "_quantiles")
 
-    def __init__(self, keep_samples: bool = False) -> None:
+    def __init__(
+        self, keep_samples: bool = False, quantiles: Sequence[float] = ()
+    ) -> None:
         self._count = 0
         self._mean = 0.0
         self._m2 = 0.0
         self._min = math.inf
         self._max = -math.inf
         self._samples: Optional[List[float]] = [] if keep_samples else None
+        self._quantiles: Dict[float, P2Quantile] = {
+            float(fraction): P2Quantile(float(fraction)) for fraction in quantiles
+        }
+
+    @classmethod
+    def from_moments(
+        cls,
+        count: int,
+        mean: float,
+        m2: float,
+        minimum: float = math.inf,
+        maximum: float = -math.inf,
+    ) -> "RunningStats":
+        """Rebuild an accumulator from stored moments (no samples retained).
+
+        ``m2`` is the sum of squared deviations (``variance * (count - 1)``).
+        The bounds default to the empty-state sentinels, for callers that
+        only know the moments; such accumulators still merge correctly.
+        """
+        if count < 0:
+            raise ValueError("sample count cannot be negative")
+        if m2 < 0:
+            raise ValueError("the sum of squared deviations cannot be negative")
+        stats = cls()
+        if count:
+            stats._count = int(count)
+            stats._mean = float(mean)
+            stats._m2 = float(m2)
+            stats._min = float(minimum)
+            stats._max = float(maximum)
+        return stats
 
     def add(self, value: float) -> None:
         """Record one sample."""
@@ -41,6 +200,58 @@ class RunningStats:
             self._max = value
         if self._samples is not None:
             self._samples.append(value)
+        for tracker in self._quantiles.values():
+            tracker.add(value)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Absorb ``other``'s samples into this accumulator, in place.
+
+        Combines the moments with the parallel-variance formula (Chan et
+        al.), so merging the same sample multiset in any partition and any
+        order yields the same count/mean/variance/min/max up to float
+        rounding -- what lets per-seed replicate summaries pool into one
+        message-level aggregate.  Retained samples survive only when both
+        sides kept them.  Streaming quantile trackers are path dependent
+        (P² marker state) and therefore not mergeable: merging an
+        accumulator that tracks quantiles raises ``ValueError``.
+        Returns ``self``.
+        """
+        if self._quantiles or other._quantiles:
+            raise ValueError(
+                "streaming quantile trackers are not mergeable; merge "
+                "moment-only accumulators (RunningStats.from_moments) and "
+                "combine quantile estimates separately"
+            )
+        if other._count == 0:
+            if self._samples is not None and other._samples is None:
+                self._samples = None
+            return self
+        if self._count == 0:
+            self._count = other._count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            if self._samples is not None:
+                self._samples = (
+                    list(other._samples) if other._samples is not None else None
+                )
+            return self
+        total = self._count + other._count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self._count * other._count / total
+        self._mean += delta * other._count / total
+        self._count = total
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+        if self._samples is not None:
+            if other._samples is not None:
+                self._samples.extend(other._samples)
+            else:
+                self._samples = None
+        return self
 
     @property
     def count(self) -> int:
@@ -73,16 +284,49 @@ class RunningStats:
         return self._max if self._count else 0.0
 
     def percentile(self, fraction: float) -> float:
-        """Sample percentile; requires ``keep_samples=True``."""
-        if self._samples is None:
-            raise ValueError("percentiles need keep_samples=True")
-        if not self._samples:
-            return 0.0
+        """Exact sample percentile; requires ``keep_samples=True``.
+
+        Nearest-rank with an explicit ceiling rule: the result is the
+        smallest retained sample whose cumulative fraction reaches
+        ``fraction`` (rank ``ceil(fraction * n)``, clamped to the sample
+        range), so ``percentile(0.0)`` is the minimum, ``percentile(1.0)``
+        the maximum, and no banker's rounding is involved.  The fraction
+        is validated before the empty-accumulator early return.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("percentile fraction must be within [0, 1]")
+        if self._samples is None:
+            raise ValueError(
+                "percentiles need keep_samples=True; use quantile() for a "
+                "streaming estimate"
+            )
+        if not self._samples:
+            return 0.0
         ordered = sorted(self._samples)
-        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
-        return ordered[index]
+        rank = math.ceil(fraction * len(ordered))
+        return ordered[min(len(ordered) - 1, max(0, rank - 1))]
+
+    def quantile(self, fraction: float) -> float:
+        """Best-available quantile: exact when samples are retained, else
+        the P² streaming estimate of a tracked fraction.
+
+        Raises ``ValueError`` for a fraction that is neither computable
+        exactly (``keep_samples=True``) nor tracked by a streaming
+        estimator passed at construction.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("quantile fraction must be within [0, 1]")
+        if self._samples is not None:
+            return self.percentile(fraction)
+        tracker = self._quantiles.get(float(fraction))
+        if tracker is None:
+            tracked = sorted(self._quantiles)
+            raise ValueError(
+                f"fraction {fraction!r} is not tracked (streaming quantiles: "
+                f"{tracked!r}); pass it via RunningStats(quantiles=...) or "
+                "retain samples with keep_samples=True"
+            )
+        return tracker.value
 
     def __repr__(self) -> str:
         return f"RunningStats(count={self._count}, mean={self.mean:.2f})"
@@ -119,6 +363,12 @@ class LatencySummary:
     completion_ratio: float
     #: Whether the run was flagged as saturated.
     saturated: bool = False
+    #: Median total latency of measured messages (exact when samples were
+    #: retained, else the P² streaming estimate; 0.0 in summaries recorded
+    #: before this field existed).
+    p50_total_latency: float = 0.0
+    #: 99th-percentile total latency (same provenance as the median).
+    p99_total_latency: float = 0.0
 
     def as_dict(self) -> dict:
         """Dictionary form for report printers and JSON dumps."""
@@ -135,6 +385,8 @@ class LatencySummary:
             "cycles": self.cycles,
             "completion_ratio": self.completion_ratio,
             "saturated": self.saturated,
+            "p50_total_latency": self.p50_total_latency,
+            "p99_total_latency": self.p99_total_latency,
         }
 
     @classmethod

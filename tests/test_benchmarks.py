@@ -273,3 +273,72 @@ def test_committed_link_bench_covers_the_grid():
     assert sat_16, "full report must sample the 16x16 saturation point"
     assert report["summary"]["speedup_16x16_saturation"] >= 1.0
     assert report["summary"]["min_speedup"] >= 0.9
+
+
+def test_stats_benchmark_smoke_report():
+    import bench_stats
+
+    report = bench_stats.run_benchmark(smoke=True)
+    assert report["benchmark"] == "stats"
+    assert report["scale"] == "smoke"
+    overhead = report["quantile_overhead"]
+    assert set(overhead) >= {
+        "samples",
+        "plain_seconds",
+        "streaming_seconds",
+        "exact_seconds",
+        "overhead_ratio",
+        "p50_error_pct",
+        "p99_error_pct",
+    }
+    # The P2 estimates must track the exact percentiles closely.
+    assert overhead["p50_error_pct"] < 2.0
+    assert overhead["p99_error_pct"] < 2.0
+    refine = report["refine"]
+    assert set(refine) >= {
+        "mesh",
+        "tolerance",
+        "executed_loads",
+        "bracket_low",
+        "bracket_high",
+        "knee_bracketed",
+        "refine_points",
+        "fixed_grid_points",
+        "points_saved",
+    }
+    # The deterministic acceptance gates: the knee is bracketed within
+    # tolerance using strictly fewer points than the equivalent fixed grid.
+    assert report["summary"]["knee_bracketed"] is True
+    assert report["summary"]["refine_beats_fixed_grid"] is True
+
+
+def test_stats_benchmark_cli_writes_report_and_gates(tmp_path):
+    import bench_stats
+
+    output = tmp_path / "stats.json"
+    code = bench_stats.main(["--scale", "smoke", "--output", str(output)])
+    assert code == 0
+    assert output.exists()
+    # An absurd overhead gate must trip the non-zero exit.
+    code = bench_stats.main(
+        ["--scale", "smoke", "--output", str(output), "--max-overhead", "0.0001"]
+    )
+    assert code == 1
+
+
+def test_committed_stats_bench_brackets_the_knee():
+    """The committed BENCH_stats.json must be a full-scale report whose
+    16x16 refinement bracketed the saturation knee within tolerance with
+    measurably fewer simulated load points than the fixed grid at the
+    same resolution, and whose streaming quantile estimates stayed
+    within a percent of the exact percentiles."""
+    import json
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_stats.json"
+    report = json.loads(path.read_text(encoding="utf-8"))
+    assert report["scale"] == "full"
+    assert report["refine"]["mesh"] == "16x16"
+    assert report["summary"]["knee_bracketed"] is True
+    assert report["summary"]["refine_beats_fixed_grid"] is True
+    assert report["refine"]["points_saved"] >= 1
+    assert report["quantile_overhead"]["p99_error_pct"] < 2.0

@@ -218,3 +218,83 @@ def test_backend_context_manager_closes_the_pool():
         assert len(results) == 2
         assert backend._pool is not None
     assert backend._pool is None
+
+
+# -- replicated points --------------------------------------------------------------
+
+
+def test_replicated_config_fans_out_into_seed_offset_runs():
+    backend = FakeBackend()
+    config = SimulationConfig.tiny(replications=3, seed_stride=10, seed=5)
+    results = backend.run_configs([config])
+    assert [c.seed for c in backend.executed] == [5, 15, 25]
+    assert all(c.replications == 1 and c.seed_stride == 1 for c in backend.executed)
+    assert len(results) == 1
+    block = results[0].replicates
+    assert block["count"] == 3
+    assert block["seeds"] == [5, 15, 25]
+
+
+def test_merged_result_carries_confidence_intervals():
+    backend = FakeBackend()
+    config = SimulationConfig.tiny(replications=4)
+    result = backend.run_configs([config])[0]
+    assert result.config == config
+    block = result.replicates
+    assert set(block) >= {"count", "seeds", "level", "latency", "throughput"}
+    assert block["latency"]["count"] == 4
+    assert block["latency"]["half_width"] >= 0.0
+    # The merged headline latency is the pooled per-message mean.
+    assert result.latency == pytest.approx(block["latency"]["mean"])
+
+
+def test_replicates_share_cache_slots_with_plain_runs(tmp_path):
+    cache = ResultCache(tmp_path)
+    base = SimulationConfig.tiny(seed=1)
+    # Prime the slot for seed 2 with a plain single-seed run.
+    FakeBackend(cache=cache).run_configs([base.variant(seed=2)])
+    backend = FakeBackend(cache=cache)
+    backend.run_configs([base.variant(replications=3)])
+    # Seeds 1, 2, 3: seed 2 was already cached, only 1 and 3 simulate.
+    assert backend.simulations_run == 2
+    assert cache.hits == 1
+
+
+def test_mixed_replicated_and_plain_batch_keeps_submission_order():
+    backend = FakeBackend()
+    plain = SimulationConfig.tiny(normalized_load=0.1)
+    replicated = SimulationConfig.tiny(normalized_load=0.2, replications=2)
+    results = backend.run_configs([plain, replicated, plain.variant(seed=9)])
+    assert [r.config.normalized_load for r in results] == [0.1, 0.2, 0.1]
+    assert results[0].replicates is None
+    assert results[1].replicates["count"] == 2
+    assert results[2].replicates is None
+
+
+def test_replicated_serial_and_pool_results_are_bit_identical():
+    config = SimulationConfig.tiny(
+        measure_messages=50, warmup_messages=5, replications=3
+    )
+    serial = SerialBackend().run_configs([config])[0]
+    with ProcessPoolBackend(workers=2) as pool:
+        pooled = pool.run_configs([config])[0]
+    assert serial.to_json() == pooled.to_json()
+
+
+def test_simulator_refuses_replicated_configs():
+    from repro.core.simulator import NetworkSimulator
+
+    with pytest.raises(ValueError, match="execution backend"):
+        NetworkSimulator(SimulationConfig.tiny(replications=2))
+
+
+def test_replicate_configs_expansion():
+    config = SimulationConfig.tiny(seed=3, replications=2, seed_stride=7)
+    replicates = config.replicate_configs()
+    assert [c.seed for c in replicates] == [3, 10]
+    single = SimulationConfig.tiny()
+    assert single.replicate_configs() == (single,)
+    with pytest.raises(ValueError):
+        SimulationConfig.tiny(replications=0)
+    with pytest.raises(ValueError):
+        SimulationConfig.tiny(seed_stride=0)

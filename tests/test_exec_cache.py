@@ -218,16 +218,18 @@ def test_cache_key_is_stable_across_processes():
 # -- format v3+: component provenance in the key -------------------------------------
 
 
-def test_cache_format_is_v8():
+def test_cache_format_is_v9():
     # v3 added component provenance; v4 added the switch_mode config
     # field and its schedule provenance; v5 added link_mode; v6 added
     # core_mode and its schedule provenance; v7 added the closed-loop
     # workload fields, the drain result block and the flat core default;
     # v8 added the topology and link_delays fields (torus/torus3d
-    # support) (see CACHE_FORMAT_VERSION docs).
+    # support); v9 added replications/seed_stride, the streaming p50/p99
+    # summary fields and the replicates result block (see
+    # CACHE_FORMAT_VERSION docs).
     from repro.exec.cache import CACHE_FORMAT_VERSION
 
-    assert CACHE_FORMAT_VERSION == 8
+    assert CACHE_FORMAT_VERSION == 9
 
 
 def test_switch_mode_feeds_the_key():

@@ -92,6 +92,7 @@ def test_result_to_dict_round_trip():
         "cycles",
         "effective_message_rate",
         "drain",
+        "replicates",
     }
     assert SimulationResult.from_dict(data) == result
 

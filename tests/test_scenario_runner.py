@@ -256,3 +256,133 @@ def test_any_stop_with_variant_axis_keeps_whole_batches():
     assert [(p.coord("load"), p.variant) for p in outcome.points] == [
         (0.1, "s1"), (0.1, "s2"), (0.6, "s1"), (0.6, "s2"),
     ]
+
+
+# -- refine mode: knee-seeking bisection -------------------------------------------
+
+
+def _refine_study(loads, tolerance=0.1, max_points=0, reporter="confidence"):
+    return Study(
+        name="refine",
+        base=TINY.to_dict(),
+        axes=(Axis(field="normalized_load", values=tuple(loads), label="load"),),
+        stop=StopPolicy(mode="refine", tolerance=tolerance, max_points=max_points),
+        report=Report(reporter=reporter),
+    )
+
+
+def test_refine_bisects_toward_the_saturation_knee():
+    # Saturation at 0.5: the bracket walks (0.1, 0.9) -> (0.1, 0.5)
+    # -> (0.3, 0.5) -> (0.4, 0.5), which is within tolerance 0.1.
+    backend = ScriptedBackend(saturation_load=0.5)
+    outcome = run_study(_refine_study(loads=(0.1, 0.9)), backend=backend)
+    assert [c.normalized_load for c in backend.executed] == [0.1, 0.9, 0.5, 0.3, 0.4]
+    assert [p.config.normalized_load for p in outcome.points] == [
+        0.1, 0.9, 0.5, 0.3, 0.4,
+    ]
+    # The knee is bracketed: the largest unsaturated and smallest
+    # saturated executed loads are within tolerance.
+    unsat = max(p for p, r in zip([0.1, 0.9, 0.5, 0.3, 0.4], outcome.results)
+                if not r.saturated)
+    sat = min(p for p, r in zip([0.1, 0.9, 0.5, 0.3, 0.4], outcome.results)
+              if r.saturated)
+    assert sat - unsat <= 0.1
+
+
+def test_refine_respects_the_point_budget():
+    backend = ScriptedBackend(saturation_load=0.5)
+    outcome = run_study(
+        _refine_study(loads=(0.1, 0.9), tolerance=0.001, max_points=3),
+        backend=backend,
+    )
+    # 2 seed-grid points + 1 bisection = the budget of 3.
+    assert len(outcome.points) == 3
+    assert [c.normalized_load for c in backend.executed] == [0.1, 0.9, 0.5]
+
+
+def test_refine_without_a_saturated_point_returns_the_grid():
+    backend = ScriptedBackend(saturation_load=5.0)
+    outcome = run_study(_refine_study(loads=(0.1, 0.3)), backend=backend)
+    assert [p.config.normalized_load for p in outcome.points] == [0.1, 0.3]
+
+
+def test_refine_with_everything_saturated_returns_the_grid():
+    backend = ScriptedBackend(saturation_load=0.0)
+    outcome = run_study(_refine_study(loads=(0.1, 0.3)), backend=backend)
+    assert [p.config.normalized_load for p in outcome.points] == [0.1, 0.3]
+
+
+def test_refine_rows_are_identical_across_wave_sizes():
+    serial_like = ScriptedBackend(wave_size=1, saturation_load=0.5)
+    wide = ScriptedBackend(wave_size=8, saturation_load=0.5)
+    serial_rows = run_study(_refine_study(loads=(0.1, 0.9)), backend=serial_like).rows
+    wide_rows = run_study(_refine_study(loads=(0.1, 0.9)), backend=wide).rows
+    assert serial_rows == wide_rows
+
+
+def test_refine_with_variant_axis_and_reference():
+    # The reference variant alone decides saturation for each bisected load.
+    study = Study(
+        name="refine-ref",
+        base=TINY.to_dict(),
+        axes=(
+            Axis(field="normalized_load", values=(0.1, 0.9), label="load"),
+            Axis(
+                name="router",
+                variants=(
+                    Variant(name="det", overrides={"routing": "dimension-order"}),
+                    Variant(name="ref", overrides={"routing": "duato"}),
+                ),
+            ),
+        ),
+        stop=StopPolicy(mode="refine", reference="ref", tolerance=0.25),
+        report=Report(reporter="variant-grid"),
+    )
+    backend = ScriptedBackend(saturation_load=0.5)
+    outcome = run_study(study, backend=backend)
+    # Each bisected load carries the whole variant batch.
+    assert [(p.coord("load"), p.variant) for p in outcome.points] == [
+        (0.1, "det"), (0.1, "ref"), (0.9, "det"), (0.9, "ref"),
+        (0.5, "det"), (0.5, "ref"), (0.3, "det"), (0.3, "ref"),
+    ]
+
+
+def test_refined_points_look_like_expanded_ones():
+    backend = ScriptedBackend(saturation_load=0.5)
+    outcome = run_study(_refine_study(loads=(0.1, 0.9)), backend=backend)
+    midpoint = outcome.points[2]
+    assert midpoint.coord("load") == 0.5
+    assert midpoint.scenario.name == "load=0.5"
+    assert midpoint.config.normalized_load == 0.5
+
+
+def test_reference_stop_uses_speculative_waves():
+    study = _reference_stop_study(loads=(0.1, 0.6, 0.2))
+    serial_like = ScriptedBackend(wave_size=1, saturation_load=0.5)
+    wide = ScriptedBackend(wave_size=4, saturation_load=0.5)
+    serial_outcome = run_study(study, backend=serial_like)
+    wide_outcome = run_study(study, backend=wide)
+    # The wide backend simulates whole waves (possibly past saturation)...
+    assert len(wide.executed) > 0
+    # ...in fewer run_configs round-trips than the serial walk, while the
+    # reported rows stay byte-identical.
+    assert serial_outcome.rows == wide_outcome.rows
+    assert [p.scenario.name for p in serial_outcome.points] == [
+        p.scenario.name for p in wide_outcome.points
+    ]
+
+
+def test_stop_policy_with_only_variant_axes_names_the_study():
+    with pytest.raises(ValueError) as excinfo:
+        Study(
+            name="variants-only",
+            base=TINY.to_dict(),
+            axes=(
+                Axis(name="router", variants=(Variant(name="a", overrides={}),)),
+            ),
+            stop=StopPolicy(mode="any"),
+            report=Report(reporter="summary"),
+        )
+    message = str(excinfo.value)
+    assert "variants-only" in message
+    assert "value axis" in message

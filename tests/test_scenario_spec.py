@@ -211,3 +211,43 @@ def test_all_plugins_collects_suite_members_deduplicated():
     suite = Study(name="s", kind="suite", members=(member_a, member_b),
                   plugins=("top.py",))
     assert suite.all_plugins() == ("top.py", "p1.py", "shared.py", "mod.dotted")
+
+
+def test_refine_stop_policy_round_trips():
+    study = Study(
+        name="refine-rt",
+        base={},
+        axes=(Axis(field="normalized_load", values=(0.1, 0.9), label="load"),),
+        stop=StopPolicy(mode="refine", tolerance=0.05, max_points=12),
+        report=Report(reporter="sweep"),
+    )
+    loaded = Study.from_json(study.to_json())
+    assert loaded == study
+    assert loaded.stop.tolerance == 0.05
+    assert loaded.stop.max_points == 12
+
+
+def test_refine_stop_policy_validation():
+    with pytest.raises(ValueError):
+        StopPolicy(mode="refine")  # needs a positive tolerance
+    with pytest.raises(ValueError):
+        StopPolicy(mode="refine", tolerance=-0.1)
+    with pytest.raises(ValueError):
+        StopPolicy(mode="refine", tolerance=0.1, max_points=-1)
+    # Non-refine modes reject refine-only knobs.
+    with pytest.raises(ValueError):
+        StopPolicy(mode="any", tolerance=0.1)
+    with pytest.raises(ValueError):
+        StopPolicy(mode="any", max_points=5)
+
+
+def test_refine_needs_a_numeric_stop_axis():
+    with pytest.raises(ValueError) as excinfo:
+        Study(
+            name="refine-strings",
+            base={},
+            axes=(Axis(field="traffic", values=("uniform", "transpose")),),
+            stop=StopPolicy(mode="refine", tolerance=0.1),
+            report=Report(reporter="summary"),
+        )
+    assert "refine-strings" in str(excinfo.value)
